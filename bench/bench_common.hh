@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Shared setup for the figure-reproduction benches.
+ *
+ * Scaling discipline (documented in DESIGN.md / EXPERIMENTS.md):
+ *  - capacities are scaled ~1000x below the paper's testbed, keeping
+ *    the footprint:DRAM ratio of each experiment;
+ *  - daemon cadence and the 20 s metric windows are scaled by
+ *    kTimeScale = 250 so the (promotion lag : hot-set drift) ratio
+ *    matches the paper's runs;
+ *  - reported intervals/windows are labelled with their *paper-scale*
+ *    values (e.g. "1 s" means the scaled 20 ms cadence).
+ */
+
+#ifndef MCLOCK_BENCH_BENCH_COMMON_HH_
+#define MCLOCK_BENCH_BENCH_COMMON_HH_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/csv.hh"
+#include "base/units.hh"
+#include "policies/factory.hh"
+#include "sim/machine.hh"
+#include "sim/simulator.hh"
+#include "workloads/gapbs/driver.hh"
+#include "workloads/ycsb.hh"
+
+namespace mclock {
+namespace bench {
+
+/** Cadence/window scale relative to the paper (see file comment). */
+constexpr double kTimeScale = 250.0;
+
+/** Paper's 1 s kpromoted interval, scaled. */
+constexpr SimTime kScanInterval = 4_ms;
+
+/** Paper's 20 s metric window, scaled. */
+constexpr SimTime kMetricsWindow = 80_ms;
+
+/** Convert a paper-scale time to simulation cadence. */
+inline SimTime
+scaledTime(SimTime paperTime)
+{
+    const auto t = static_cast<SimTime>(
+        static_cast<double>(paperTime) / kTimeScale);
+    return t == 0 ? 1 : t;
+}
+
+/** Machine for the YCSB experiments (Figs. 5, 8, 9, 10). */
+inline sim::MachineConfig
+ycsbMachine()
+{
+    sim::MachineConfig cfg;
+    // PM sized with headroom for workload D's dataset growth (the
+    // paper's 512 GB PM dwarfed D's inserts; 64 MiB would overflow).
+    cfg.nodes = {{TierKind::Dram, 16_MiB}, {TierKind::Pmem, 96_MiB}};
+    // Scaled with the footprint: the testbed's LLC covers ~0.01% of the
+    // workload; anything bigger here would absorb the whole hot band.
+    cfg.cache.sizeBytes = 64_KiB;
+    cfg.cache.ways = 8;
+    cfg.metricsWindow = kMetricsWindow;
+    return cfg;
+}
+
+/** Machine for the GAPBS experiments (Fig. 6). */
+inline sim::MachineConfig
+gapbsMachine()
+{
+    sim::MachineConfig cfg;
+    cfg.nodes = {{TierKind::Dram, 8_MiB}, {TierKind::Pmem, 32_MiB}};
+    cfg.cache.sizeBytes = 256_KiB;
+    cfg.metricsWindow = kMetricsWindow;
+    return cfg;
+}
+
+/** Tiered machine for the Memory-mode comparison (Fig. 7). */
+inline sim::MachineConfig
+memModeTieredMachine()
+{
+    sim::MachineConfig cfg;
+    cfg.nodes = {{TierKind::Dram, 16_MiB}, {TierKind::Pmem, 96_MiB}};
+    cfg.cache.sizeBytes = 1_MiB;
+    cfg.metricsWindow = kMetricsWindow;
+    return cfg;
+}
+
+/** PM-only machine for Memory-mode itself (DRAM is the cache). */
+inline sim::MachineConfig
+memModePmMachine()
+{
+    sim::MachineConfig cfg;
+    cfg.nodes = {{TierKind::Pmem, 96_MiB}};
+    cfg.cache.sizeBytes = 1_MiB;
+    cfg.metricsWindow = kMetricsWindow;
+    return cfg;
+}
+
+/** Policy options with the scaled cadence (paper defaults otherwise). */
+inline policies::PolicyOptions
+benchPolicyOptions(SimTime interval = kScanInterval)
+{
+    policies::PolicyOptions opts;
+    opts.scanInterval = interval;
+    // Scan budget sized so a full CLOCK pass over the PM lists takes a
+    // few wakes (the paper's 1024 at testbed scale covers a similarly
+    // small fraction of much longer lists per wake).
+    opts.nrScan = 2048;
+    // AutoNUMA poisoning budget: one full pass over the footprint every
+    // ~2.5 simulated seconds (trap overhead moderate; AT's losses come
+    // from fault-path migration decisions, as on the testbed).
+    opts.poisonPagesPerSec = 131072.0;
+    return opts;
+}
+
+/** YCSB configuration for Fig. 5/8/9/10: footprint ~2.5x DRAM. */
+inline workloads::YcsbConfig
+ycsbBenchConfig(std::uint64_t ops)
+{
+    workloads::YcsbConfig cfg;
+    // ~38 MiB of items vs 16 MiB DRAM; 1 KB records (the YCSB default)
+    // give ~4 records per page, preserving page-level access skew.
+    cfg.recordCount = 36000;
+    cfg.valueBytes = 1024;
+    cfg.opsPerWorkload = ops;
+    return cfg;
+}
+
+/** GAPBS configuration for Fig. 6: footprint > DRAM. */
+inline workloads::gapbs::GapbsConfig
+gapbsBenchConfig()
+{
+    workloads::gapbs::GapbsConfig cfg;
+    cfg.scale = 16;    // 64k vertices
+    cfg.degree = 24;   // ~1.5M undirected edges -> ~15 MiB CSR
+    cfg.trials = 2;
+    cfg.prIters = 8;
+    cfg.bcSources = 2;
+    cfg.tcScale = 13;
+    cfg.tcDegree = 10;
+    return cfg;
+}
+
+/** Simple "--flag value" argv lookup. */
+inline std::uint64_t
+argValue(int argc, char **argv, const char *flag, std::uint64_t dflt)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0)
+            return static_cast<std::uint64_t>(std::atoll(argv[i + 1]));
+    }
+    return dflt;
+}
+
+/** One policy's YCSB paper-sequence outcome. */
+struct YcsbRunOutcome
+{
+    std::map<std::string, double> throughput;  // workload -> ops/s
+    std::uint64_t promotions = 0;
+    std::uint64_t demotions = 0;
+    std::uint64_t reaccessed = 0;
+    std::uint64_t hintFaults = 0;
+    std::vector<sim::MetricsWindow> windows;
+};
+
+/** Run load + the paper sequence under @p policy. */
+inline YcsbRunOutcome
+runYcsbSequence(const std::string &policy,
+                const workloads::YcsbConfig &ycsb,
+                const sim::MachineConfig &machine,
+                const policies::PolicyOptions &opts)
+{
+    sim::Simulator sim(machine);
+    sim.setPolicy(policies::makePolicy(policy, opts));
+    workloads::YcsbDriver driver(sim, ycsb);
+    driver.load();
+    YcsbRunOutcome out;
+    for (const auto &result : driver.runPaperSequence())
+        out.throughput[result.workload] = result.throughputOpsPerSec();
+    out.promotions = sim.metrics().totalPromotions();
+    out.demotions = sim.metrics().totalDemotions();
+    out.reaccessed = sim.metrics().totalReaccessed();
+    out.hintFaults = sim.stats().get("hint_faults");
+    out.windows = sim.metrics().windows();
+    return out;
+}
+
+/** Print a normalized table row. */
+inline void
+printNormalizedRow(const std::string &name,
+                   const std::vector<double> &values,
+                   const std::vector<double> &baseline)
+{
+    std::printf("%-12s", name.c_str());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        const double norm =
+            baseline[i] > 0.0 ? values[i] / baseline[i] : 0.0;
+        std::printf(" %8.3f", norm);
+    }
+    std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace mclock
+
+#endif  // MCLOCK_BENCH_BENCH_COMMON_HH_

@@ -1,0 +1,79 @@
+#include "base/csv.hh"
+
+#include <iomanip>
+
+#include "base/logging.hh"
+
+namespace mclock {
+
+CsvWriter::CsvWriter(const std::string &path) : file_(path), toFile_(true)
+{
+    if (!file_)
+        MCLOCK_FATAL("cannot open CSV output file '%s'", path.c_str());
+}
+
+CsvWriter::CsvWriter() : toFile_(false)
+{
+}
+
+std::ostream &
+CsvWriter::out()
+{
+    if (toFile_)
+        return file_;
+    return mem_;
+}
+
+std::string
+CsvWriter::escape(const std::string &field)
+{
+    if (field.find_first_of(",\"\n") == std::string::npos)
+        return field;
+    std::string escaped = "\"";
+    for (char c : field) {
+        if (c == '"')
+            escaped += '"';
+        escaped += c;
+    }
+    escaped += '"';
+    return escaped;
+}
+
+void
+CsvWriter::writeHeader(const std::vector<std::string> &cols)
+{
+    writeRow(cols);
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cols)
+{
+    auto &os = out();
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+        if (i)
+            os << ',';
+        os << escape(cols[i]);
+    }
+    os << '\n';
+}
+
+void
+CsvWriter::writeRow(const std::vector<double> &cols, int precision)
+{
+    auto &os = out();
+    os << std::setprecision(precision) << std::fixed;
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+        if (i)
+            os << ',';
+        os << cols[i];
+    }
+    os << '\n';
+}
+
+std::string
+CsvWriter::str() const
+{
+    return mem_.str();
+}
+
+}  // namespace mclock

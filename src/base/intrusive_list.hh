@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Intrusive doubly-linked list used for the per-node LRU lists.
+ *
+ * The kernel's LRU lists link struct page objects through an embedded
+ * list_head; we mirror that design so that moving a page between lists is
+ * O(1) and allocation-free, which keeps daemon scan costs realistic and
+ * the host-time fast path cheap.
+ *
+ * The list owns nothing. A hooked object may be on at most one list at a
+ * time; the hook tracks membership so erase() of a non-member panics.
+ */
+
+#ifndef MCLOCK_BASE_INTRUSIVE_LIST_HH_
+#define MCLOCK_BASE_INTRUSIVE_LIST_HH_
+
+#include <cstddef>
+
+#include "base/logging.hh"
+
+namespace mclock {
+
+/** Embedded link; place one inside each object that can live on a list. */
+struct ListHook
+{
+    ListHook *prev = nullptr;
+    ListHook *next = nullptr;
+
+    bool linked() const { return prev != nullptr; }
+};
+
+/**
+ * Intrusive list of T, where T exposes its hook via HookMember.
+ *
+ * @tparam T        element type
+ * @tparam HookPtr  pointer-to-member of the embedded ListHook
+ */
+template <typename T, ListHook T::*HookPtr>
+class IntrusiveList
+{
+  public:
+    IntrusiveList()
+    {
+        head_.prev = &head_;
+        head_.next = &head_;
+    }
+
+    IntrusiveList(const IntrusiveList &) = delete;
+    IntrusiveList &operator=(const IntrusiveList &) = delete;
+
+    bool empty() const { return head_.next == &head_; }
+    std::size_t size() const { return size_; }
+
+    /** Add to the front (head) of the list. */
+    void
+    pushFront(T *obj)
+    {
+        ListHook *h = hookOf(obj);
+        MCLOCK_ASSERT(!h->linked());
+        insertAfter(&head_, h);
+        ++size_;
+    }
+
+    /** Add to the back (tail) of the list. */
+    void
+    pushBack(T *obj)
+    {
+        ListHook *h = hookOf(obj);
+        MCLOCK_ASSERT(!h->linked());
+        insertAfter(head_.prev, h);
+        ++size_;
+    }
+
+    /** Remove an element known to be on this list. */
+    void
+    erase(T *obj)
+    {
+        ListHook *h = hookOf(obj);
+        MCLOCK_ASSERT(h->linked());
+        h->prev->next = h->next;
+        h->next->prev = h->prev;
+        h->prev = nullptr;
+        h->next = nullptr;
+        MCLOCK_ASSERT(size_ > 0);
+        --size_;
+    }
+
+    /** First element, or nullptr if empty. */
+    T *
+    front() const
+    {
+        return empty() ? nullptr : objOf(head_.next);
+    }
+
+    /** Last element, or nullptr if empty. */
+    T *
+    back() const
+    {
+        return empty() ? nullptr : objOf(head_.prev);
+    }
+
+    /** Pop and return the front element, or nullptr. */
+    T *
+    popFront()
+    {
+        T *obj = front();
+        if (obj)
+            erase(obj);
+        return obj;
+    }
+
+    /** Pop and return the back element, or nullptr. */
+    T *
+    popBack()
+    {
+        T *obj = back();
+        if (obj)
+            erase(obj);
+        return obj;
+    }
+
+    /**
+     * Rotate: move the back element to the front (the CLOCK hand giving a
+     * referenced page a second chance).
+     */
+    void
+    rotateBackToFront()
+    {
+        T *obj = popBack();
+        if (obj)
+            pushFront(obj);
+    }
+
+    /** Minimal forward iterator (front to back). */
+    class Iterator
+    {
+      public:
+        explicit Iterator(ListHook *pos) : pos_(pos) {}
+        T *operator*() const { return objOf(pos_); }
+        Iterator &operator++() { pos_ = pos_->next; return *this; }
+        bool operator!=(const Iterator &o) const { return pos_ != o.pos_; }
+
+      private:
+        ListHook *pos_;
+    };
+
+    Iterator begin() { return Iterator(head_.next); }
+    Iterator end() { return Iterator(&head_); }
+
+  private:
+    static ListHook *hookOf(T *obj) { return &(obj->*HookPtr); }
+
+    static T *
+    objOf(ListHook *h)
+    {
+        // Recover the containing object from its embedded hook, as the
+        // kernel's container_of does.
+        static const std::ptrdiff_t offset = []{
+            alignas(T) unsigned char storage[sizeof(T)];
+            T *fake = reinterpret_cast<T *>(storage);
+            return reinterpret_cast<unsigned char *>(&(fake->*HookPtr)) -
+                   reinterpret_cast<unsigned char *>(fake);
+        }();
+        return reinterpret_cast<T *>(
+            reinterpret_cast<unsigned char *>(h) - offset);
+    }
+
+    static void
+    insertAfter(ListHook *pos, ListHook *h)
+    {
+        h->prev = pos;
+        h->next = pos->next;
+        pos->next->prev = h;
+        pos->next = h;
+    }
+
+    ListHook head_;
+    std::size_t size_ = 0;
+};
+
+}  // namespace mclock
+
+#endif  // MCLOCK_BASE_INTRUSIVE_LIST_HH_

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Logging and error-reporting helpers, modelled after gem5's
+ * panic()/fatal()/warn()/inform() distinction:
+ *  - panic: an internal invariant was violated (a simulator bug); aborts.
+ *  - fatal: the user asked for something impossible (bad config); exits.
+ *  - warn/inform: status messages; never stop the simulation.
+ */
+
+#ifndef MCLOCK_BASE_LOGGING_HH_
+#define MCLOCK_BASE_LOGGING_HH_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace mclock {
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace detail
+
+/** Global verbosity: 0 = quiet (warnings only), 1 = inform, 2 = debug. */
+extern int logVerbosity;
+
+#define MCLOCK_PANIC(...) \
+    ::mclock::detail::panicImpl(__FILE__, __LINE__, \
+                                ::mclock::detail::format(__VA_ARGS__))
+
+#define MCLOCK_FATAL(...) \
+    ::mclock::detail::fatalImpl(__FILE__, __LINE__, \
+                                ::mclock::detail::format(__VA_ARGS__))
+
+#define MCLOCK_WARN(...) \
+    ::mclock::detail::warnImpl(::mclock::detail::format(__VA_ARGS__))
+
+#define MCLOCK_INFORM(...) \
+    do { \
+        if (::mclock::logVerbosity >= 1) \
+            ::mclock::detail::informImpl(::mclock::detail::format(__VA_ARGS__)); \
+    } while (0)
+
+/** Assert an internal invariant; active in all build types. */
+#define MCLOCK_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) \
+            MCLOCK_PANIC("assertion failed: %s", #cond); \
+    } while (0)
+
+}  // namespace mclock
+
+#endif  // MCLOCK_BASE_LOGGING_HH_

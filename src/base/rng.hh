@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic components of the simulator (workload generators, random
+ * selection policies, samplers) draw from Rng so that every experiment is
+ * reproducible from a single seed. The generator is xoshiro256**, which is
+ * fast, has a 256-bit state, and passes BigCrush.
+ */
+
+#ifndef MCLOCK_BASE_RNG_HH_
+#define MCLOCK_BASE_RNG_HH_
+
+#include <cstdint>
+
+namespace mclock {
+
+/** xoshiro256** pseudo-random generator with splitmix64 seeding. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next64();
+
+    /** Uniform value in [0, bound) without modulo bias (bound > 0). */
+    std::uint64_t nextRange(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool nextBool(double p);
+
+    /**
+     * Fork a statistically independent child generator. Used to give each
+     * workload phase its own stream while preserving determinism.
+     */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+};
+
+}  // namespace mclock
+
+#endif  // MCLOCK_BASE_RNG_HH_

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Lightweight statistics: counters, scalar summaries, histograms, and a
+ * registry for dumping everything at the end of a run.
+ */
+
+#ifndef MCLOCK_BASE_STATS_HH_
+#define MCLOCK_BASE_STATS_HH_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mclock {
+
+/** Running scalar summary: count / sum / min / max / mean / variance. */
+class Summary
+{
+  public:
+    void add(double v);
+    void merge(const Summary &other);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    /** Population variance (Welford). */
+    double variance() const;
+    double stddev() const;
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+/**
+ * Fixed-bucket histogram over [lo, hi) with linear buckets plus underflow
+ * and overflow buckets.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    void add(double v);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t bucketCount(std::size_t i) const { return counts_[i]; }
+    std::size_t numBuckets() const { return counts_.size(); }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    double bucketLow(std::size_t i) const;
+    /** Approximate quantile q in [0,1] by linear interpolation. */
+    double quantile(double q) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * A named bag of counters. Subsystems register counters by name; dump()
+ * prints them sorted, which the benches use for machine-readable output.
+ */
+class StatRegistry
+{
+  public:
+    /** Add delta to the named counter (creating it at zero). */
+    void inc(const std::string &name, std::uint64_t delta = 1);
+    void set(const std::string &name, std::uint64_t value);
+    std::uint64_t get(const std::string &name) const;
+    void reset();
+
+    /** Print "name value" lines, sorted by name. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    const std::map<std::string, std::uint64_t> &all() const
+    {
+        return counters_;
+    }
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace mclock
+
+#endif  // MCLOCK_BASE_STATS_HH_

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fundamental types shared across the multiclock simulator.
+ */
+
+#ifndef MCLOCK_BASE_TYPES_HH_
+#define MCLOCK_BASE_TYPES_HH_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mclock {
+
+/** Simulated time in nanoseconds since simulation start. */
+using SimTime = std::uint64_t;
+
+/** A virtual address inside a simulated address space. */
+using Vaddr = std::uint64_t;
+
+/** A simulated physical address (node base + frame offset). */
+using Paddr = std::uint64_t;
+
+/** Virtual page number: Vaddr >> kPageShift. */
+using PageNum = std::uint64_t;
+
+/** NUMA node identifier; kInvalidNode means "no node". */
+using NodeId = int;
+constexpr NodeId kInvalidNode = -1;
+
+/** Base-2 logarithm of the simulated page size. */
+constexpr unsigned kPageShift = 12;
+
+/** Simulated page size in bytes (4 KiB, matching the paper's base pages). */
+constexpr std::size_t kPageSize = std::size_t{1} << kPageShift;
+
+/** Memory tier kinds, ordered from higher- to lower-performing. */
+enum class TierKind : std::uint8_t {
+    Dram = 0,  ///< High performance, low capacity.
+    Pmem = 1,  ///< Lower performance, high capacity (Optane-like).
+};
+
+/** Number of distinct tier kinds. */
+constexpr int kNumTierKinds = 2;
+
+/** Human-readable tier name. */
+inline const char *
+tierName(TierKind kind)
+{
+    return kind == TierKind::Dram ? "DRAM" : "PMEM";
+}
+
+inline constexpr PageNum
+pageNumOf(Vaddr va)
+{
+    return va >> kPageShift;
+}
+
+inline constexpr Vaddr
+pageBaseOf(Vaddr va)
+{
+    return va & ~static_cast<Vaddr>(kPageSize - 1);
+}
+
+}  // namespace mclock
+
+#endif  // MCLOCK_BASE_TYPES_HH_

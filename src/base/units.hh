@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Size and time unit helpers.
+ */
+
+#ifndef MCLOCK_BASE_UNITS_HH_
+#define MCLOCK_BASE_UNITS_HH_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mclock {
+
+constexpr std::size_t operator""_KiB(unsigned long long v)
+{
+    return static_cast<std::size_t>(v) << 10;
+}
+
+constexpr std::size_t operator""_MiB(unsigned long long v)
+{
+    return static_cast<std::size_t>(v) << 20;
+}
+
+constexpr std::size_t operator""_GiB(unsigned long long v)
+{
+    return static_cast<std::size_t>(v) << 30;
+}
+
+/** Simulated-time literals (SimTime is in nanoseconds). */
+constexpr std::uint64_t operator""_ns(unsigned long long v)
+{
+    return v;
+}
+
+constexpr std::uint64_t operator""_us(unsigned long long v)
+{
+    return v * 1000ull;
+}
+
+constexpr std::uint64_t operator""_ms(unsigned long long v)
+{
+    return v * 1000ull * 1000ull;
+}
+
+constexpr std::uint64_t operator""_s(unsigned long long v)
+{
+    return v * 1000ull * 1000ull * 1000ull;
+}
+
+}  // namespace mclock
+
+#endif  // MCLOCK_BASE_UNITS_HH_

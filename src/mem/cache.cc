@@ -1,0 +1,102 @@
+#include "mem/cache.hh"
+
+#include <bit>
+
+#include "base/logging.hh"
+
+namespace mclock {
+
+namespace {
+
+unsigned
+log2Exact(std::size_t v)
+{
+    MCLOCK_ASSERT(v > 0 && (v & (v - 1)) == 0);
+    return static_cast<unsigned>(std::countr_zero(v));
+}
+
+}  // namespace
+
+CacheModel::CacheModel(const CacheConfig &cfg)
+    : lineShift_(log2Exact(cfg.lineBytes)),
+      numSets_(cfg.sizeBytes / (static_cast<std::size_t>(cfg.lineBytes) *
+                                cfg.ways)),
+      ways_(cfg.ways)
+{
+    MCLOCK_ASSERT(numSets_ > 0 && (numSets_ & (numSets_ - 1)) == 0);
+    lines_.assign(numSets_ * ways_, Line{});
+    useClock_.assign(numSets_, 0);
+}
+
+std::size_t
+CacheModel::setOf(Paddr pa) const
+{
+    return (pa >> lineShift_) & (numSets_ - 1);
+}
+
+std::uint64_t
+CacheModel::tagOf(Paddr pa) const
+{
+    return pa >> lineShift_;
+}
+
+CacheResult
+CacheModel::access(Paddr pa, bool isWrite)
+{
+    const std::size_t set = setOf(pa);
+    const std::uint64_t tag = tagOf(pa);
+    Line *base = &lines_[set * ways_];
+    const std::uint32_t stamp = ++useClock_[set];
+
+    Line *victim = base;
+    for (unsigned w = 0; w < ways_; ++w) {
+        Line &line = base[w];
+        if (line.tag == tag) {
+            line.lastUse = stamp;
+            line.dirty = line.dirty || isWrite;
+            ++hits_;
+            return {true, false};
+        }
+        if (line.lastUse < victim->lastUse ||
+            (line.tag == kInvalidTag && victim->tag != kInvalidTag)) {
+            victim = &line;
+        }
+    }
+
+    ++misses_;
+    const bool writeback = victim->tag != kInvalidTag && victim->dirty;
+    if (writeback)
+        ++writebacks_;
+    victim->tag = tag;
+    victim->lastUse = stamp;
+    victim->dirty = isWrite;
+    return {false, writeback};
+}
+
+void
+CacheModel::invalidatePage(Paddr pageBase)
+{
+    const Paddr start = pageBase & ~static_cast<Paddr>(kPageSize - 1);
+    for (Paddr pa = start; pa < start + kPageSize;
+         pa += (Paddr{1} << lineShift_)) {
+        const std::size_t set = setOf(pa);
+        const std::uint64_t tag = tagOf(pa);
+        Line *base = &lines_[set * ways_];
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (base[w].tag == tag) {
+                base[w] = Line{};
+                break;
+            }
+        }
+    }
+}
+
+void
+CacheModel::reset()
+{
+    lines_.assign(lines_.size(), Line{});
+    useClock_.assign(useClock_.size(), 0);
+    hits_ = misses_ = writebacks_ = 0;
+}
+
+}  // namespace mclock

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Set-associative last-level-cache model used as an access filter.
+ *
+ * The simulator models the entire on-chip cache hierarchy as a single
+ * set-associative cache in front of memory. Its purpose is behavioural:
+ * accesses that hit on-chip are invisible to the OS (no PTE accessed-bit
+ * update on a TLB hit without a page walk) and do not benefit from page
+ * placement, so a tiering policy should not be rewarded for promoting a
+ * page whose lines are cache-resident. Lookups are tag-only; no data is
+ * stored.
+ */
+
+#ifndef MCLOCK_MEM_CACHE_HH_
+#define MCLOCK_MEM_CACHE_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "mem/memory_config.hh"
+
+namespace mclock {
+
+/** Result of a cache lookup. */
+struct CacheResult
+{
+    bool hit;              ///< line present in the cache
+    bool writebackDirty;   ///< a dirty victim was evicted (miss only)
+};
+
+/** Tag-only set-associative cache with per-set LRU replacement. */
+class CacheModel
+{
+  public:
+    explicit CacheModel(const CacheConfig &cfg);
+
+    /**
+     * Access the line containing physical address @p pa.
+     * Allocates on miss (write-allocate); marks the line dirty on stores.
+     */
+    CacheResult access(Paddr pa, bool isWrite);
+
+    /**
+     * Invalidate every line belonging to the 4 KiB page at @p pageBase.
+     * Called when a page migrates (its physical address changes) so stale
+     * lines do not keep serving hits for the old location.
+     */
+    void invalidatePage(Paddr pageBase);
+
+    void reset();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+    std::size_t numSets() const { return numSets_; }
+    unsigned ways() const { return ways_; }
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = kInvalidTag;
+        std::uint32_t lastUse = 0;  ///< per-set LRU stamp
+        bool dirty = false;
+    };
+
+    static constexpr std::uint64_t kInvalidTag = ~0ull;
+
+    std::size_t setOf(Paddr pa) const;
+    std::uint64_t tagOf(Paddr pa) const;
+
+    unsigned lineShift_;
+    std::size_t numSets_;
+    unsigned ways_;
+    std::vector<Line> lines_;       ///< numSets_ * ways_, set-major
+    std::vector<std::uint32_t> useClock_;  ///< per-set LRU clock
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t writebacks_ = 0;
+};
+
+}  // namespace mclock
+
+#endif  // MCLOCK_MEM_CACHE_HH_

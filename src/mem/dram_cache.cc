@@ -1,0 +1,70 @@
+#include "mem/dram_cache.hh"
+
+#include <bit>
+
+#include "base/logging.hh"
+
+namespace mclock {
+
+DramCache::DramCache(std::size_t dramBytes, const MemoryConfig &cfg,
+                     unsigned lineBytes)
+    : cfg_(cfg),
+      lineShift_(static_cast<unsigned>(std::countr_zero(
+          static_cast<std::size_t>(lineBytes)))),
+      numEntries_(dramBytes / lineBytes)
+{
+    MCLOCK_ASSERT(lineBytes > 0 && (lineBytes & (lineBytes - 1)) == 0);
+    MCLOCK_ASSERT(numEntries_ > 0 && (numEntries_ & (numEntries_ - 1)) == 0);
+    entries_.assign(numEntries_, Entry{});
+    fillCost_ = cfg_.copyLatency(TierKind::Pmem, TierKind::Dram, lineBytes);
+    writebackCost_ =
+        cfg_.copyLatency(TierKind::Dram, TierKind::Pmem, lineBytes);
+}
+
+DramCacheResult
+DramCache::access(Paddr pa, bool isWrite)
+{
+    const std::uint64_t block = pa >> lineShift_;
+    const std::size_t idx = block & (numEntries_ - 1);
+    Entry &e = entries_[idx];
+
+    if (e.tag == block) {
+        ++hits_;
+        e.dirty = e.dirty || isWrite;
+        const SimTime lat = isWrite ? cfg_.dram.storeLatency
+                                    : cfg_.dram.loadLatency;
+        return {true, lat};
+    }
+
+    ++misses_;
+    // 2LM misses are serial: the near-memory tag probe in DRAM comes
+    // before the far-memory access.
+    SimTime lat = cfg_.dram.loadLatency +
+                  (isWrite ? cfg_.pmem.storeLatency
+                           : cfg_.pmem.loadLatency);
+    if (e.tag != kInvalidTag && e.dirty) {
+        ++writebacks_;
+        lat += writebackCost_;
+    }
+    lat += fillCost_;
+    e.tag = block;
+    e.dirty = isWrite;
+    return {false, lat};
+}
+
+void
+DramCache::reset()
+{
+    entries_.assign(entries_.size(), Entry{});
+    hits_ = misses_ = writebacks_ = 0;
+}
+
+double
+DramCache::hitRate() const
+{
+    const std::uint64_t total = hits_ + misses_;
+    return total ? static_cast<double>(hits_) / static_cast<double>(total)
+                 : 0.0;
+}
+
+}  // namespace mclock

@@ -1,0 +1,22 @@
+#include "mem/memory_config.hh"
+
+#include <algorithm>
+
+namespace mclock {
+
+SimTime
+MemoryConfig::copyLatency(TierKind src, TierKind dst, std::size_t bytes) const
+{
+    const double srcBw = timing(src).readBandwidth;
+    const double dstBw = timing(dst).writeBandwidth;
+    const double bw = std::min(srcBw, dstBw);
+    return static_cast<SimTime>(static_cast<double>(bytes) / bw);
+}
+
+SimTime
+MemoryConfig::pageMigrationCost(TierKind src, TierKind dst) const
+{
+    return migrationFixedCost + copyLatency(src, dst, kPageSize);
+}
+
+}  // namespace mclock

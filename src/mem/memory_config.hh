@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Timing and capacity parameters of the simulated hybrid-memory machine.
+ *
+ * The defaults model the paper's testbeds: DDR4-2666 DRAM DIMMs and Intel
+ * Optane DC Persistent Memory DIMMs used in App-Direct (devdax/KMEM-DAX)
+ * mode, with latencies taken from published Optane characterisation
+ * studies. Capacities are scaled down ~1000x so experiments complete in
+ * seconds while keeping the footprint:DRAM ratios of the paper intact.
+ */
+
+#ifndef MCLOCK_MEM_MEMORY_CONFIG_HH_
+#define MCLOCK_MEM_MEMORY_CONFIG_HH_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "base/types.hh"
+#include "base/units.hh"
+
+namespace mclock {
+
+/** Per-tier access timing. */
+struct TierTiming
+{
+    SimTime loadLatency;   ///< ns for a 64 B load reaching this tier.
+    SimTime storeLatency;  ///< ns for a 64 B store reaching this tier.
+    /** Sustained copy bandwidth in bytes/ns (== GB/s) for reads. */
+    double readBandwidth;
+    /** Sustained copy bandwidth in bytes/ns (== GB/s) for writes. */
+    double writeBandwidth;
+};
+
+/** Full timing model for the machine. */
+struct MemoryConfig
+{
+    TierTiming dram{80_ns, 80_ns, 12.0, 12.0};
+    // Optane DCPMM: ~300 ns random load; stores complete into the ADR
+    // buffer faster but sustained write bandwidth is much lower.
+    TierTiming pmem{300_ns, 200_ns, 6.6, 2.3};
+
+    /** Cost of a minor page fault (first touch), excluding zero-fill. */
+    SimTime minorFaultLatency = 1500_ns;
+    /** Cost of a NUMA-hint software page fault (AutoTiering tracking). */
+    SimTime hintFaultLatency = 1800_ns;
+    /** Fixed per-page migration overhead: unmap, TLB shootdown, remap. */
+    SimTime migrationFixedCost = 2500_ns;
+    /** Cost of swapping a page out to / in from block storage. */
+    SimTime swapLatency = 50_us;
+    /** Daemon cost to scan one page (rmap walk + reference bit ops). */
+    SimTime scanPerPageCost = 120_ns;
+    /**
+     * Multiplier applied to migrations performed synchronously on the
+     * application's fault path (AutoTiering promotes in the hint-fault
+     * handler). It models the page-lock stalls and TLB-shootdown storms
+     * such migrations impose on the other application threads of the
+     * paper's 32-core testbed, which a single-threaded driver cannot
+     * observe directly.
+     */
+    double faultPathMigrationMultiplier = 4.0;
+    /**
+     * Fraction of background daemon work (scans, migrations performed by
+     * kpromoted/kswapd on their own core) charged to application time to
+     * model memory-bandwidth and lock contention. Work performed inline
+     * on the application's fault path is always charged in full.
+     */
+    double backgroundInterference = 0.3;
+
+    const TierTiming &timing(TierKind kind) const
+    {
+        return kind == TierKind::Dram ? dram : pmem;
+    }
+
+    /** Latency to copy @p bytes from tier @p src to tier @p dst. */
+    SimTime copyLatency(TierKind src, TierKind dst, std::size_t bytes) const;
+
+    /** Total cost of migrating one page from @p src to @p dst. */
+    SimTime pageMigrationCost(TierKind src, TierKind dst) const;
+};
+
+/** LLC filter-cache parameters; models the on-chip cache hierarchy. */
+struct CacheConfig
+{
+    bool enabled = true;
+    std::size_t sizeBytes = 8_MiB;
+    unsigned ways = 16;
+    unsigned lineBytes = 64;
+    SimTime hitLatency = 5_ns;
+};
+
+}  // namespace mclock
+
+#endif  // MCLOCK_MEM_MEMORY_CONFIG_HH_

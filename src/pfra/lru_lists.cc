@@ -1,0 +1,54 @@
+#include "pfra/lru_lists.hh"
+
+#include "base/logging.hh"
+
+namespace mclock {
+namespace pfra {
+
+void
+NodeLists::add(Page *page, LruListKind kind, bool toFront)
+{
+    MCLOCK_ASSERT(kind != LruListKind::None);
+    MCLOCK_ASSERT(page->list() == LruListKind::None);
+    if (toFront)
+        list(kind).pushFront(page);
+    else
+        list(kind).pushBack(page);
+    page->setList(kind);
+}
+
+void
+NodeLists::remove(Page *page)
+{
+    MCLOCK_ASSERT(page->list() != LruListKind::None);
+    list(page->list()).erase(page);
+    page->setList(LruListKind::None);
+}
+
+void
+NodeLists::moveTo(Page *page, LruListKind kind, bool toFront)
+{
+    remove(page);
+    add(page, kind, toFront);
+}
+
+void
+NodeLists::rotateToFront(Page *page)
+{
+    const LruListKind kind = page->list();
+    MCLOCK_ASSERT(kind != LruListKind::None);
+    list(kind).erase(page);
+    list(kind).pushFront(page);
+}
+
+std::size_t
+NodeLists::totalPages() const
+{
+    std::size_t total = 0;
+    for (const auto &l : lists_)
+        total += l.size();
+    return total;
+}
+
+}  // namespace pfra
+}  // namespace mclock

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Per-node LRU lists, mirroring Linux's per-pglist_data lruvec.
+ *
+ * Each NUMA node owns five original lists (anonymous/file x
+ * inactive/active, plus unevictable) and the two lists MULTI-CLOCK adds
+ * (anonymous promote and file promote). Pages enter at the head; CLOCK
+ * scanning consumes from the tail.
+ */
+
+#ifndef MCLOCK_PFRA_LRU_LISTS_HH_
+#define MCLOCK_PFRA_LRU_LISTS_HH_
+
+#include <array>
+#include <cstddef>
+
+#include "base/intrusive_list.hh"
+#include "vm/page.hh"
+
+namespace mclock {
+namespace pfra {
+
+/** The set of LRU lists belonging to one NUMA node. */
+class NodeLists
+{
+  public:
+    using PageList = IntrusiveList<Page, &Page::lruHook>;
+
+    NodeLists() = default;
+
+    PageList &
+    list(LruListKind kind)
+    {
+        return lists_[static_cast<std::size_t>(kind)];
+    }
+
+    const PageList &
+    list(LruListKind kind) const
+    {
+        return lists_[static_cast<std::size_t>(kind)];
+    }
+
+    /** Add a page (currently on no list) to the head of @p kind. */
+    void add(Page *page, LruListKind kind, bool toFront = true);
+
+    /** Remove a page from whatever list it is on. */
+    void remove(Page *page);
+
+    /** Move a page from its current list to @p kind. */
+    void moveTo(Page *page, LruListKind kind, bool toFront = true);
+
+    /** Rotate a page to the head of its current list (second chance). */
+    void rotateToFront(Page *page);
+
+    std::size_t size(LruListKind kind) const { return list(kind).size(); }
+
+    std::size_t
+    inactiveSize(bool anon) const
+    {
+        return size(anon ? LruListKind::InactiveAnon
+                         : LruListKind::InactiveFile);
+    }
+
+    std::size_t
+    activeSize(bool anon) const
+    {
+        return size(anon ? LruListKind::ActiveAnon
+                         : LruListKind::ActiveFile);
+    }
+
+    std::size_t
+    promoteSize(bool anon) const
+    {
+        return size(anon ? LruListKind::PromoteAnon
+                         : LruListKind::PromoteFile);
+    }
+
+    /** Total pages across all lists on this node. */
+    std::size_t totalPages() const;
+
+    static LruListKind
+    inactiveKind(bool anon)
+    {
+        return anon ? LruListKind::InactiveAnon : LruListKind::InactiveFile;
+    }
+
+    static LruListKind
+    activeKind(bool anon)
+    {
+        return anon ? LruListKind::ActiveAnon : LruListKind::ActiveFile;
+    }
+
+    static LruListKind
+    promoteKind(bool anon)
+    {
+        return anon ? LruListKind::PromoteAnon : LruListKind::PromoteFile;
+    }
+
+  private:
+    // Index 0 (LruListKind::None) stays empty; keeping it simplifies
+    // indexing by the enum value.
+    std::array<PageList, kNumLruLists> lists_;
+};
+
+}  // namespace pfra
+}  // namespace mclock
+
+#endif  // MCLOCK_PFRA_LRU_LISTS_HH_

@@ -1,0 +1,39 @@
+#include "pfra/watermarks.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/types.hh"
+
+namespace mclock {
+namespace pfra {
+
+Watermarks
+Watermarks::compute(std::size_t totalFrames)
+{
+    // Kernel: min_free_kbytes = 4 * sqrt(lowmem_kbytes), clamped to
+    // [128, 65536] kB. Work in frames directly with equivalent shape.
+    const double total = static_cast<double>(totalFrames);
+    auto min = static_cast<std::size_t>(4.0 * std::sqrt(total));
+    min = std::max<std::size_t>(min, 32);
+    // Never reserve more than ~1/8th of the node.
+    min = std::min(min, totalFrames / 8 + 1);
+    Watermarks wm;
+    wm.min = min;
+    wm.low = min * 5 / 4;
+    wm.high = min * 3 / 2;
+    return wm;
+}
+
+unsigned
+inactiveRatio(std::size_t totalFrames)
+{
+    const double gb = static_cast<double>(totalFrames) *
+                      static_cast<double>(kPageSize) /
+                      (1024.0 * 1024.0 * 1024.0);
+    const double ratio = std::sqrt(10.0 * gb);
+    return ratio < 1.0 ? 1u : static_cast<unsigned>(ratio + 0.5);
+}
+
+}  // namespace pfra
+}  // namespace mclock

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Per-node free-memory watermarks, following the kernel's scheme.
+ *
+ * A tier is marked under memory pressure proactively when its free frame
+ * count drops below these levels; the levels are derived from the amount
+ * of memory on the node (kernel: min_free_kbytes ~ 4*sqrt(lowmem),
+ * low = min * 5/4, high = min * 3/2).
+ */
+
+#ifndef MCLOCK_PFRA_WATERMARKS_HH_
+#define MCLOCK_PFRA_WATERMARKS_HH_
+
+#include <cstddef>
+
+namespace mclock {
+namespace pfra {
+
+/** Free-page watermarks for one node. */
+struct Watermarks
+{
+    std::size_t min = 0;   ///< allocator reserve; never dip below
+    std::size_t low = 0;   ///< kswapd wakes below this
+    std::size_t high = 0;  ///< kswapd reclaims until free exceeds this
+
+    /** Derive watermarks from a node's total frame count. */
+    static Watermarks compute(std::size_t totalFrames);
+};
+
+/**
+ * The PFRA active:inactive balance threshold: if active exceeds
+ * inactive * ratio... in the kernel the *inactive* list is kept at least
+ * active/ratio with ratio = sqrt(10 * managed_gigabytes), clamped to >= 1.
+ *
+ * @param totalFrames frames managed by the node
+ * @return the inactive ratio (>= 1)
+ */
+unsigned inactiveRatio(std::size_t totalFrames);
+
+}  // namespace pfra
+}  // namespace mclock
+
+#endif  // MCLOCK_PFRA_WATERMARKS_HH_

@@ -1,0 +1,181 @@
+#include "policies/amp.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/logging.hh"
+#include "pfra/lru_lists.hh"
+#include "pfra/vmscan.hh"
+#include "sim/simulator.hh"
+#include "vm/page.hh"
+
+namespace mclock {
+namespace policies {
+
+AmpPolicy::AmpPolicy(AmpMode mode, AmpConfig cfg) : mode_(mode), cfg_(cfg)
+{
+}
+
+const char *
+AmpPolicy::name() const
+{
+    switch (mode_) {
+      case AmpMode::Lru: return "amp-lru";
+      case AmpMode::Lfu: return "amp-lfu";
+      case AmpMode::Random: return "amp-random";
+    }
+    return "amp";
+}
+
+void
+AmpPolicy::attach(sim::Simulator &sim)
+{
+    TieringPolicy::attach(sim);
+    sim.daemons().add("amp_scan", cfg_.scanInterval,
+                      [this](SimTime now) { tick(now); });
+}
+
+void
+AmpPolicy::tick(SimTime now)
+{
+    auto &mem = sim_->memory();
+    auto &space = sim_->space();
+    sim_->metrics().beginPromotionRound();
+
+    // Full profiling pass: AMP scans every page of both tiers. Collect
+    // lower-tier candidates and score them by the selection mode.
+    std::vector<Page *> candidates;
+    std::uint64_t scanned = 0;
+    space.forEachPage([&](Page *pg) {
+        ++scanned;
+        if (!pg->resident() || !pg->onLru() || pg->unevictable() ||
+            pg->locked()) {
+            return;
+        }
+        if (mem.node(pg->node()).kind() == TierKind::Pmem)
+            candidates.push_back(pg);
+    });
+    sim_->chargeScan(scanned);
+
+    switch (mode_) {
+      case AmpMode::Lru:
+        std::sort(candidates.begin(), candidates.end(),
+                  [](const Page *a, const Page *b) {
+                      return a->lastAccess() > b->lastAccess();
+                  });
+        break;
+      case AmpMode::Lfu:
+        std::sort(candidates.begin(), candidates.end(),
+                  [](const Page *a, const Page *b) {
+                      return a->accessCount() > b->accessCount();
+                  });
+        break;
+      case AmpMode::Random:
+        for (std::size_t i = candidates.size(); i > 1; --i) {
+            std::swap(candidates[i - 1],
+                      candidates[sim_->rng().nextRange(i)]);
+        }
+        break;
+    }
+
+    std::size_t promoted = 0;
+    for (Page *pg : candidates) {
+        if (promoted >= cfg_.promoteBatch)
+            break;
+        // Skip pages with no signal at all (never accessed).
+        if (mode_ != AmpMode::Random && pg->accessCount() == 0)
+            break;
+        auto &lists = mem.node(pg->node()).lists();
+        lists.remove(pg);
+        bool ok = sim_->promotePage(
+            pg, sim::Simulator::ChargeMode::Background);
+        if (!ok) {
+            for (NodeId id : mem.tier(TierKind::Dram))
+                sim_->maybeReclaim(mem.node(id));
+            ok = sim_->promotePage(
+                pg, sim::Simulator::ChargeMode::Background);
+        }
+        if (ok) {
+            pg->setActive(true);
+            pg->setReferenced(false);
+            mem.node(pg->node()).lists().add(
+                pg, pfra::NodeLists::activeKind(pg->isAnon()));
+            ++promoted;
+        } else {
+            lists.add(pg, pfra::NodeLists::activeKind(pg->isAnon()));
+        }
+    }
+    sim_->stats().inc("amp_promoted", promoted);
+
+    if (cfg_.decayCounts) {
+        space.forEachPage([](Page *pg) {
+            // Halve LFU counts so stale popularity ages out.
+            pg->setAccessCount(pg->accessCount() / 2);
+        });
+    }
+    (void)now;
+}
+
+void
+AmpPolicy::handlePressure(sim::Node &node)
+{
+    auto &mem = sim_->memory();
+    TierKind down;
+    const bool hasLower = mem.lowerTier(node.kind(), down);
+    std::size_t remaining = cfg_.pressureBudget;
+    bool progress = true;
+    while (!node.aboveHigh() && remaining > 0 && progress) {
+        progress = false;
+        for (bool anon : {false, true}) {
+            std::vector<Page *> victims;
+            const std::size_t chunk = std::min<std::size_t>(remaining, 64);
+            if (chunk == 0)
+                break;
+            const auto stats = pfra::collectInactiveCandidates(
+                node.lists(), anon, chunk, victims);
+            sim_->chargeScan(stats.scanned);
+            remaining -= std::min<std::size_t>(
+                remaining, stats.scanned ? stats.scanned : 1);
+            for (Page *pg : victims) {
+                progress = true;
+                if (hasLower &&
+                    sim_->demotePage(
+                        pg, sim::Simulator::ChargeMode::Background)) {
+                    pg->setActive(false);
+                    pg->setReferenced(false);
+                    mem.node(pg->node()).lists().add(
+                        pg, pfra::NodeLists::inactiveKind(anon));
+                } else {
+                    sim_->evictPage(pg);
+                }
+            }
+        }
+        for (bool anon : {true, false}) {
+            const auto stats = pfra::balanceActiveInactive(
+                node.lists(), anon, 128, node.inactiveRatio());
+            sim_->chargeScan(stats.scanned);
+            if (stats.deactivated > 0)
+                progress = true;
+        }
+    }
+}
+
+FeatureRow
+AmpPolicy::features() const
+{
+    FeatureRow row;
+    row.tiering = "AMP";
+    row.tracking = "Reference Bit";
+    row.promotion = "Recency+Frequency+Random";
+    row.demotion = "Recency";
+    row.numaAware = "No";
+    row.spaceOverhead = "Yes";
+    row.generality = "Huge Page";
+    row.evaluation = "Emulator (QEMU)";
+    row.usability = "No KMEM DAX Support";
+    row.keyInsight = "Hybrid page selection";
+    return row;
+}
+
+}  // namespace policies
+}  // namespace mclock

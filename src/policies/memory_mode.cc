@@ -1,0 +1,54 @@
+#include "policies/memory_mode.hh"
+
+#include "base/logging.hh"
+#include "sim/simulator.hh"
+#include "vm/page.hh"
+
+namespace mclock {
+namespace policies {
+
+MemoryModePolicy::MemoryModePolicy(std::size_t dramCacheBytes)
+    : dramCacheBytes_(dramCacheBytes)
+{
+    MCLOCK_ASSERT(dramCacheBytes > 0);
+}
+
+void
+MemoryModePolicy::attach(sim::Simulator &sim)
+{
+    TieringPolicy::attach(sim);
+    if (!sim.memory().tier(TierKind::Dram).empty()) {
+        MCLOCK_FATAL("Memory-mode requires a PM-only machine config "
+                     "(the DRAM is the memory-side cache, not a node)");
+    }
+    cache_ = std::make_unique<DramCache>(dramCacheBytes_, sim.memConfig());
+}
+
+void
+MemoryModePolicy::onMemoryAccess(Page *page, AccessContext &ctx)
+{
+    const Paddr pa = page->paddr() + (ctx.va & (kPageSize - 1));
+    const DramCacheResult res = cache_->access(pa, ctx.write);
+    ctx.latencyOverridden = true;
+    ctx.latency = res.latency;
+}
+
+FeatureRow
+MemoryModePolicy::features() const
+{
+    FeatureRow row;
+    row.tiering = "Memory-mode";
+    row.tracking = "Hardware (memory controller)";
+    row.promotion = "Direct-mapped cache fill";
+    row.demotion = "Cache eviction";
+    row.numaAware = "Per-socket";
+    row.spaceOverhead = "No";
+    row.generality = "All";
+    row.evaluation = "PM";
+    row.usability = "DRAM capacity hidden from OS";
+    row.keyInsight = "DRAM as memory-side cache";
+    return row;
+}
+
+}  // namespace policies
+}  // namespace mclock

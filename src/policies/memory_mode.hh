@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Memory-mode (2LM) baseline.
+ *
+ * In Memory-mode the memory controller uses all of a socket's DRAM as a
+ * direct-mapped cache in front of the PM DIMMs, and the OS sees only the
+ * PM capacity. Use this policy with a machine config whose node list
+ * contains only PM nodes (sim::paperMachineMemoryMode()); pass the DRAM
+ * capacity to the policy, which models the memory-side cache.
+ */
+
+#ifndef MCLOCK_POLICIES_MEMORY_MODE_HH_
+#define MCLOCK_POLICIES_MEMORY_MODE_HH_
+
+#include <cstddef>
+#include <memory>
+
+#include "mem/dram_cache.hh"
+#include "policies/policy.hh"
+
+namespace mclock {
+namespace policies {
+
+/** DRAM-as-cache baseline; hides DRAM capacity from the OS. */
+class MemoryModePolicy : public TieringPolicy
+{
+  public:
+    /** @param dramCacheBytes capacity of the DRAM acting as cache */
+    explicit MemoryModePolicy(std::size_t dramCacheBytes);
+
+    const char *name() const override { return "memory-mode"; }
+
+    void attach(sim::Simulator &sim) override;
+
+    /** Every memory-visible access is serviced through the DRAM cache. */
+    void onMemoryAccess(Page *page, AccessContext &ctx) override;
+
+    FeatureRow features() const override;
+
+    const DramCache &cache() const { return *cache_; }
+
+  private:
+    std::size_t dramCacheBytes_;
+    std::unique_ptr<DramCache> cache_;
+};
+
+}  // namespace policies
+}  // namespace mclock
+
+#endif  // MCLOCK_POLICIES_MEMORY_MODE_HH_

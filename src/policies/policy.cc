@@ -1,0 +1,136 @@
+#include "policies/policy.hh"
+
+#include <vector>
+
+#include "base/logging.hh"
+#include "pfra/vmscan.hh"
+#include "sim/simulator.hh"
+#include "vm/page.hh"
+
+namespace mclock {
+namespace policies {
+
+void
+TieringPolicy::attach(sim::Simulator &sim)
+{
+    sim_ = &sim;
+}
+
+NodeId
+TieringPolicy::selectAllocationNode(Page &page)
+{
+    (void)page;
+    auto &mem = sim_->memory();
+    // Highest-performing tier with room above the reserve wins; this is
+    // where pages are "born in" under tiered allocation.
+    for (TierKind kind : mem.tierOrder()) {
+        const NodeId id = mem.pickNodeWithSpace(kind, /*respectMin=*/true);
+        if (id != kInvalidNode)
+            return id;
+    }
+    // All tiers below their min watermark: dip into reserves bottom-up.
+    const auto &order = mem.tierOrder();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const NodeId id = mem.pickNodeWithSpace(*it, /*respectMin=*/false);
+        if (id != kInvalidNode)
+            return id;
+    }
+    return kInvalidNode;
+}
+
+void
+TieringPolicy::onPageAllocated(Page *page)
+{
+    // New pages start in the inactive-unreferenced state (Fig. 4).
+    MCLOCK_ASSERT(page->resident());
+    auto &lists = sim_->memory().node(page->node()).lists();
+    if (page->unevictable()) {
+        lists.add(page, LruListKind::Unevictable);
+        return;
+    }
+    page->setActive(false);
+    page->setReferenced(false);
+    page->setPromoteFlag(false);
+    lists.add(page, pfra::NodeLists::inactiveKind(page->isAnon()));
+}
+
+void
+TieringPolicy::onPageFreed(Page *page)
+{
+    if (page->onLru())
+        sim_->memory().node(page->node()).lists().remove(page);
+}
+
+void
+TieringPolicy::onMemoryAccess(Page *page, AccessContext &ctx)
+{
+    (void)page;
+    (void)ctx;
+}
+
+void
+TieringPolicy::onSupervisedAccess(Page *page)
+{
+    // Vanilla mark_page_accessed(): first touch sets PG_referenced, a
+    // second touch activates the page.
+    if (!page->onLru() || page->unevictable())
+        return;
+    if (!page->referenced()) {
+        page->setReferenced(true);
+        return;
+    }
+    if (isInactiveList(page->list())) {
+        page->setReferenced(false);
+        page->setActive(true);
+        auto &lists = sim_->memory().node(page->node()).lists();
+        lists.moveTo(page, pfra::NodeLists::activeKind(page->isAnon()));
+    }
+    // Already active: PG_referenced stays set.
+}
+
+void
+TieringPolicy::onHintFault(Page *page)
+{
+    (void)page;
+}
+
+void
+TieringPolicy::handlePressure(sim::Node &node)
+{
+    // Default: last-resort eviction on the lowest tier only. Tiering
+    // policies override this with their demotion mechanisms.
+    if (node.kind() != sim_->memory().tierOrder().back())
+        return;
+    std::size_t guard = 0;
+    while (!node.aboveHigh() && guard++ < 64) {
+        if (evictToStorage(node, 64) == 0)
+            break;
+    }
+}
+
+std::size_t
+TieringPolicy::evictToStorage(sim::Node &node, std::size_t target)
+{
+    auto &lists = node.lists();
+    std::size_t freed = 0;
+    // Kernel order: prefer file-backed pages (cheap to drop) over anon.
+    for (bool anon : {false, true}) {
+        if (freed >= target)
+            break;
+        pfra::ScanStats balance = pfra::balanceActiveInactive(
+            lists, anon, target * 2, node.inactiveRatio());
+        sim_->chargeScan(balance.scanned);
+        std::vector<Page *> victims;
+        pfra::ScanStats scan = pfra::collectInactiveCandidates(
+            lists, anon, target - freed, victims);
+        sim_->chargeScan(scan.scanned);
+        for (Page *pg : victims) {
+            sim_->evictPage(pg);
+            ++freed;
+        }
+    }
+    return freed;
+}
+
+}  // namespace policies
+}  // namespace mclock

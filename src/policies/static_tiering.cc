@@ -1,0 +1,24 @@
+#include "policies/static_tiering.hh"
+
+namespace mclock {
+namespace policies {
+
+FeatureRow
+StaticTieringPolicy::features() const
+{
+    FeatureRow row;
+    row.tiering = "Static-Tiering";
+    row.tracking = "N/A";
+    row.promotion = "N/A";
+    row.demotion = "N/A";
+    row.numaAware = "Yes";
+    row.spaceOverhead = "N/A";
+    row.generality = "All";
+    row.evaluation = "PM";
+    row.usability = "None";
+    row.keyInsight = "Straight forward";
+    return row;
+}
+
+}  // namespace policies
+}  // namespace mclock

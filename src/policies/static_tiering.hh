@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Static tiering: the no-migration baseline.
+ *
+ * Pages are born in the highest tier with space and never move between
+ * tiers afterwards, regardless of how their importance changes — the
+ * paper's primary normalisation baseline. Under pressure on the lowest
+ * tier, pages are evicted to block storage (vanilla PFRA); upper tiers
+ * never reclaim because allocation simply falls through to lower tiers.
+ */
+
+#ifndef MCLOCK_POLICIES_STATIC_TIERING_HH_
+#define MCLOCK_POLICIES_STATIC_TIERING_HH_
+
+#include "policies/policy.hh"
+
+namespace mclock {
+namespace policies {
+
+/** The static-tiering baseline (allocation spill, no migration). */
+class StaticTieringPolicy : public TieringPolicy
+{
+  public:
+    const char *name() const override { return "static"; }
+
+    FeatureRow features() const override;
+};
+
+}  // namespace policies
+}  // namespace mclock
+
+#endif  // MCLOCK_POLICIES_STATIC_TIERING_HH_

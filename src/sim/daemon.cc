@@ -1,0 +1,85 @@
+#include "sim/daemon.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace mclock {
+namespace sim {
+
+DaemonId
+DaemonScheduler::add(std::string name, SimTime interval,
+                     std::function<void(SimTime)> fn)
+{
+    MCLOCK_ASSERT(interval > 0);
+    Entry e;
+    e.name = std::move(name);
+    e.interval = interval;
+    e.nextWake = interval;  // first wake one period after start
+    e.fn = std::move(fn);
+    daemons_.push_back(std::move(e));
+    recomputeNextDue();
+    return daemons_.size() - 1;
+}
+
+void
+DaemonScheduler::runDue(SimTime now)
+{
+    while (nextDue_ <= now) {
+        // Find the earliest due daemon and run it.
+        Entry *due = nullptr;
+        for (auto &e : daemons_) {
+            if (e.enabled && e.nextWake <= now &&
+                (!due || e.nextWake < due->nextWake)) {
+                due = &e;
+            }
+        }
+        if (!due)
+            break;
+        const SimTime wake = due->nextWake;
+        due->nextWake += due->interval;
+        ++due->invocations;
+        due->fn(wake);
+        recomputeNextDue();
+    }
+}
+
+void
+DaemonScheduler::setInterval(DaemonId id, SimTime interval)
+{
+    MCLOCK_ASSERT(id < daemons_.size() && interval > 0);
+    Entry &e = daemons_[id];
+    // Keep the phase: the pending wake moves to lastWake + newInterval.
+    MCLOCK_ASSERT(e.nextWake >= e.interval);
+    e.nextWake = e.nextWake - e.interval + interval;
+    e.interval = interval;
+    recomputeNextDue();
+}
+
+void
+DaemonScheduler::setEnabled(DaemonId id, bool enabled)
+{
+    MCLOCK_ASSERT(id < daemons_.size());
+    daemons_[id].enabled = enabled;
+    recomputeNextDue();
+}
+
+std::uint64_t
+DaemonScheduler::invocations(DaemonId id) const
+{
+    MCLOCK_ASSERT(id < daemons_.size());
+    return daemons_[id].invocations;
+}
+
+void
+DaemonScheduler::recomputeNextDue()
+{
+    nextDue_ = std::numeric_limits<SimTime>::max();
+    for (const auto &e : daemons_) {
+        if (e.enabled)
+            nextDue_ = std::min(nextDue_, e.nextWake);
+    }
+}
+
+}  // namespace sim
+}  // namespace mclock

@@ -1,0 +1,73 @@
+#include "sim/machine.hh"
+
+#include "base/units.hh"
+
+namespace mclock {
+namespace sim {
+
+MachineConfig
+paperMachineScaled()
+{
+    MachineConfig cfg;
+    cfg.nodes = {
+        {TierKind::Dram, 64_MiB},
+        {TierKind::Pmem, 256_MiB},
+    };
+    cfg.cache.sizeBytes = 4_MiB;
+    return cfg;
+}
+
+MachineConfig
+paperMachineTwoSocket()
+{
+    MachineConfig cfg;
+    cfg.nodes = {
+        {TierKind::Dram, 32_MiB},
+        {TierKind::Dram, 32_MiB},
+        {TierKind::Pmem, 128_MiB},
+        {TierKind::Pmem, 128_MiB},
+    };
+    cfg.cache.sizeBytes = 4_MiB;
+    return cfg;
+}
+
+MachineConfig
+paperMachineMemoryMode()
+{
+    MachineConfig cfg;
+    // The OS sees only the PM capacity; DRAM is the memory-side cache.
+    cfg.nodes = {
+        {TierKind::Pmem, 256_MiB},
+    };
+    cfg.cache.sizeBytes = 4_MiB;
+    return cfg;
+}
+
+MachineConfig
+benchMachine()
+{
+    MachineConfig cfg;
+    cfg.nodes = {
+        {TierKind::Dram, 16_MiB},
+        {TierKind::Pmem, 64_MiB},
+    };
+    cfg.cache.sizeBytes = 1_MiB;
+    return cfg;
+}
+
+MachineConfig
+tinyTestMachine()
+{
+    MachineConfig cfg;
+    cfg.nodes = {
+        {TierKind::Dram, 2_MiB},
+        {TierKind::Pmem, 8_MiB},
+    };
+    cfg.cache.enabled = true;
+    cfg.cache.sizeBytes = 64_KiB;
+    cfg.cache.ways = 4;
+    return cfg;
+}
+
+}  // namespace sim
+}  // namespace mclock

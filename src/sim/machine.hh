@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Machine configurations: memory timing + node layout + cache + seed.
+ *
+ * Presets model the paper's two testbeds, scaled ~1000x down in capacity
+ * (the footprint:DRAM ratios of each experiment are preserved, which is
+ * what determines tiering behaviour).
+ */
+
+#ifndef MCLOCK_SIM_MACHINE_HH_
+#define MCLOCK_SIM_MACHINE_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/memory_config.hh"
+#include "sim/memory_system.hh"
+
+namespace mclock {
+namespace sim {
+
+/** Everything needed to instantiate a Simulator. */
+struct MachineConfig
+{
+    MemoryConfig mem;
+    CacheConfig cache;
+    std::vector<NodeSpec> nodes;
+    std::uint64_t seed = 42;
+    /** Swap slots available for last-resort eviction (0 = unlimited). */
+    std::size_t swapPages = 0;
+    /** Metrics window length (the paper reports 20 s windows). */
+    SimTime metricsWindow = 20'000'000'000ull;
+
+    std::size_t
+    tierBytes(TierKind kind) const
+    {
+        std::size_t total = 0;
+        for (const auto &n : nodes) {
+            if (n.kind == kind)
+                total += n.bytes;
+        }
+        return total;
+    }
+};
+
+/**
+ * The paper's evaluation platform, scaled: one DRAM node (64 MiB) and
+ * one PM node (256 MiB), preserving the ~1:4 DRAM:PM ratio of the
+ * Memory-mode testbed (376 GB : 1.5 TB).
+ */
+MachineConfig paperMachineScaled();
+
+/**
+ * Two-socket variant: two DRAM nodes and two PM nodes (the DAX-KMEM
+ * driver hot-plugs each PM DIMM set as its own node).
+ */
+MachineConfig paperMachineTwoSocket();
+
+/**
+ * Memory-mode platform: the OS sees only PM nodes; the DRAM acts as a
+ * memory-side cache managed by MemoryModePolicy (pass the DRAM size to
+ * the policy, not to the node list).
+ */
+MachineConfig paperMachineMemoryMode();
+
+/**
+ * Small machine used by the default bench runs: 16 MiB DRAM + 64 MiB PM
+ * with a 1 MiB LLC. Same 1:4 tier ratio as paperMachineScaled(); ~4x
+ * cheaper to simulate.
+ */
+MachineConfig benchMachine();
+
+/** Tiny machine for unit tests: 2 MiB DRAM + 8 MiB PM, small LLC. */
+MachineConfig tinyTestMachine();
+
+}  // namespace sim
+}  // namespace mclock
+
+#endif  // MCLOCK_SIM_MACHINE_HH_

@@ -1,0 +1,116 @@
+#include "sim/memory_system.hh"
+
+#include "base/logging.hh"
+
+namespace mclock {
+namespace sim {
+
+namespace {
+
+// Leave an unmapped gap between node physical ranges so stray-address
+// bugs surface as assertions rather than aliasing another node.
+constexpr Paddr kNodeGap = 1ull << 40;
+
+}  // namespace
+
+MemorySystem::MemorySystem(const std::vector<NodeSpec> &specs)
+{
+    MCLOCK_ASSERT(!specs.empty());
+    Paddr base = 0;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const auto &spec = specs[i];
+        const std::size_t frames = spec.bytes / kPageSize;
+        MCLOCK_ASSERT(frames > 0);
+        nodes_.push_back(std::make_unique<Node>(
+            static_cast<NodeId>(i), spec.kind, frames, base));
+        tierNodes_[static_cast<int>(spec.kind)].push_back(
+            static_cast<NodeId>(i));
+        base += kNodeGap;
+    }
+    if (!tierNodes_[static_cast<int>(TierKind::Dram)].empty())
+        tierOrder_.push_back(TierKind::Dram);
+    if (!tierNodes_[static_cast<int>(TierKind::Pmem)].empty())
+        tierOrder_.push_back(TierKind::Pmem);
+}
+
+Node &
+MemorySystem::node(NodeId id)
+{
+    MCLOCK_ASSERT(id >= 0 && static_cast<std::size_t>(id) < nodes_.size());
+    return *nodes_[static_cast<std::size_t>(id)];
+}
+
+const Node &
+MemorySystem::node(NodeId id) const
+{
+    MCLOCK_ASSERT(id >= 0 && static_cast<std::size_t>(id) < nodes_.size());
+    return *nodes_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<NodeId> &
+MemorySystem::tier(TierKind kind) const
+{
+    return tierNodes_[static_cast<int>(kind)];
+}
+
+bool
+MemorySystem::higherTier(TierKind kind, TierKind &out) const
+{
+    for (std::size_t i = 1; i < tierOrder_.size(); ++i) {
+        if (tierOrder_[i] == kind) {
+            out = tierOrder_[i - 1];
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+MemorySystem::lowerTier(TierKind kind, TierKind &out) const
+{
+    for (std::size_t i = 0; i + 1 < tierOrder_.size(); ++i) {
+        if (tierOrder_[i] == kind) {
+            out = tierOrder_[i + 1];
+            return true;
+        }
+    }
+    return false;
+}
+
+std::size_t
+MemorySystem::tierFrames(TierKind kind) const
+{
+    std::size_t total = 0;
+    for (NodeId id : tier(kind))
+        total += node(id).totalFrames();
+    return total;
+}
+
+std::size_t
+MemorySystem::tierFreeFrames(TierKind kind) const
+{
+    std::size_t total = 0;
+    for (NodeId id : tier(kind))
+        total += node(id).freeFrames();
+    return total;
+}
+
+NodeId
+MemorySystem::pickNodeWithSpace(TierKind kind, bool respectMin) const
+{
+    NodeId best = kInvalidNode;
+    std::size_t bestFree = 0;
+    for (NodeId id : tier(kind)) {
+        const Node &n = node(id);
+        const std::size_t reserve = respectMin ? n.watermarks().min : 0;
+        const std::size_t free = n.freeFrames();
+        if (free > reserve && free > bestFree) {
+            best = id;
+            bestFree = free;
+        }
+    }
+    return best;
+}
+
+}  // namespace sim
+}  // namespace mclock

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The collection of NUMA nodes forming the tiered memory system.
+ *
+ * Tiers are disjoint sets of nodes ordered from high performance / low
+ * capacity (DRAM) to low performance / high capacity (PM). All DRAM
+ * nodes form the DRAM tier and all PM nodes form the PM tier, exactly as
+ * the paper defines.
+ */
+
+#ifndef MCLOCK_SIM_MEMORY_SYSTEM_HH_
+#define MCLOCK_SIM_MEMORY_SYSTEM_HH_
+
+#include <memory>
+#include <vector>
+
+#include "base/types.hh"
+#include "sim/node.hh"
+
+namespace mclock {
+namespace sim {
+
+/** Declarative node description used by machine configs. */
+struct NodeSpec
+{
+    TierKind kind;
+    std::size_t bytes;
+};
+
+/** Owns the nodes and answers tier-ordering queries. */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const std::vector<NodeSpec> &specs);
+
+    std::size_t numNodes() const { return nodes_.size(); }
+
+    Node &node(NodeId id);
+    const Node &node(NodeId id) const;
+
+    /** Node ids belonging to @p kind, in id order. */
+    const std::vector<NodeId> &tier(TierKind kind) const;
+
+    /** Tier kinds present, ordered best-first (DRAM before PM). */
+    const std::vector<TierKind> &tierOrder() const { return tierOrder_; }
+
+    /**
+     * The next better tier than @p kind, if any.
+     * @return true and sets @p out when a higher tier exists
+     */
+    bool higherTier(TierKind kind, TierKind &out) const;
+
+    /** The next worse tier than @p kind, if any. */
+    bool lowerTier(TierKind kind, TierKind &out) const;
+
+    /** Total frames across a tier. */
+    std::size_t tierFrames(TierKind kind) const;
+
+    /** Total free frames across a tier. */
+    std::size_t tierFreeFrames(TierKind kind) const;
+
+    /**
+     * Find a node in @p kind with a free frame, preferring the one with
+     * the most free frames (a simple zone-balancing stand-in).
+     *
+     * @param respectMin when true, only consider nodes whose free count
+     *                    stays above their min watermark reserve
+     * @return node id or kInvalidNode
+     */
+    NodeId pickNodeWithSpace(TierKind kind, bool respectMin) const;
+
+    template <typename Fn>
+    void
+    forEachNode(Fn &&fn)
+    {
+        for (auto &n : nodes_)
+            fn(*n);
+    }
+
+  private:
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::vector<NodeId> tierNodes_[kNumTierKinds];
+    std::vector<TierKind> tierOrder_;
+};
+
+}  // namespace sim
+}  // namespace mclock
+
+#endif  // MCLOCK_SIM_MEMORY_SYSTEM_HH_

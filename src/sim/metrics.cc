@@ -1,0 +1,60 @@
+#include "sim/metrics.hh"
+
+namespace mclock {
+namespace sim {
+
+MetricsWindow &
+Metrics::windowAt(SimTime now)
+{
+    const std::size_t idx = static_cast<std::size_t>(now / windowLen_);
+    if (windows_.size() <= idx)
+        windows_.resize(idx + 1);
+    return windows_[idx];
+}
+
+void
+Metrics::recordAccess(SimTime now, TierKind tier, bool llcHit)
+{
+    auto &w = windowAt(now);
+    ++w.accesses;
+    ++totalAccesses_;
+    if (llcHit) {
+        ++w.llcHits;
+        return;
+    }
+    if (tier == TierKind::Dram)
+        ++w.dramAccesses;
+    else
+        ++w.pmemAccesses;
+}
+
+void
+Metrics::recordPromotion(SimTime now, Page *page)
+{
+    ++windowAt(now).promotions;
+    ++totalPromotions_;
+    page->setPromotedEpoch(round_);
+}
+
+void
+Metrics::recordDemotion(SimTime now)
+{
+    ++windowAt(now).demotions;
+    ++totalDemotions_;
+}
+
+void
+Metrics::maybeRecordReaccess(SimTime now, Page *page)
+{
+    const std::uint64_t epoch = page->promotedEpoch();
+    if (epoch == 0)
+        return;
+    if (round_ - epoch <= 1) {
+        ++windowAt(now).promotedReaccessed;
+        ++totalReaccessed_;
+    }
+    page->setPromotedEpoch(0);
+}
+
+}  // namespace sim
+}  // namespace mclock

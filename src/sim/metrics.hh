@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Run metrics with the paper's 20-second windowed accounting.
+ *
+ * Figures 8 and 9 report, per 20 s window, the number of pages promoted
+ * and the percentage of recently promoted pages that were re-accessed
+ * from DRAM. "Recently" means promoted in the last kpromoted scan: a
+ * promoted page counts as re-accessed if a memory-visible DRAM access
+ * touches it before the end of the promotion round following its own.
+ */
+
+#ifndef MCLOCK_SIM_METRICS_HH_
+#define MCLOCK_SIM_METRICS_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "base/units.hh"
+#include "vm/page.hh"
+
+namespace mclock {
+namespace sim {
+
+/** Aggregates for one time window. */
+struct MetricsWindow
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t dramAccesses = 0;   ///< memory-visible, served by DRAM
+    std::uint64_t pmemAccesses = 0;   ///< memory-visible, served by PM
+    std::uint64_t llcHits = 0;
+    std::uint64_t promotions = 0;
+    std::uint64_t demotions = 0;
+    std::uint64_t promotedReaccessed = 0;
+
+    double
+    reaccessPercent() const
+    {
+        return promotions
+            ? 100.0 * static_cast<double>(promotedReaccessed) /
+              static_cast<double>(promotions)
+            : 0.0;
+    }
+};
+
+/** Windowed and total metrics for one simulation run. */
+class Metrics
+{
+  public:
+    explicit Metrics(SimTime windowLen = 20_s) : windowLen_(windowLen) {}
+
+    void recordAccess(SimTime now, TierKind tier, bool llcHit);
+
+    /**
+     * A page was migrated upward. Stamps the page with the current
+     * promotion round for re-access tracking.
+     */
+    void recordPromotion(SimTime now, Page *page);
+
+    void recordDemotion(SimTime now);
+
+    /** kpromoted (or equivalent) starts a new scan round. */
+    void beginPromotionRound() { ++round_; }
+
+    /**
+     * Called for DRAM-tier memory-visible accesses; counts the first
+     * re-access of a page promoted in this or the previous round.
+     */
+    void maybeRecordReaccess(SimTime now, Page *page);
+
+    const std::vector<MetricsWindow> &windows() const { return windows_; }
+    SimTime windowLength() const { return windowLen_; }
+    std::uint64_t currentRound() const { return round_; }
+
+    std::uint64_t totalAccesses() const { return totalAccesses_; }
+    std::uint64_t totalPromotions() const { return totalPromotions_; }
+    std::uint64_t totalDemotions() const { return totalDemotions_; }
+    std::uint64_t totalReaccessed() const { return totalReaccessed_; }
+
+    /** Free-form named counters for policy-specific events. */
+    StatRegistry &stats() { return stats_; }
+    const StatRegistry &stats() const { return stats_; }
+
+  private:
+    MetricsWindow &windowAt(SimTime now);
+
+    SimTime windowLen_;
+    std::vector<MetricsWindow> windows_;
+    std::uint64_t round_ = 1;
+    std::uint64_t totalAccesses_ = 0;
+    std::uint64_t totalPromotions_ = 0;
+    std::uint64_t totalDemotions_ = 0;
+    std::uint64_t totalReaccessed_ = 0;
+    StatRegistry stats_;
+};
+
+}  // namespace sim
+}  // namespace mclock
+
+#endif  // MCLOCK_SIM_METRICS_HH_

@@ -1,0 +1,96 @@
+#include "sim/migration.hh"
+
+#include "base/logging.hh"
+#include "mem/cache.hh"
+#include "sim/memory_system.hh"
+#include "vm/page.hh"
+
+namespace mclock {
+namespace sim {
+
+MigrationEngine::MigrationEngine(MemorySystem &mem, const MemoryConfig &cfg,
+                                 CacheModel *llc)
+    : mem_(mem), cfg_(cfg), llc_(llc)
+{
+}
+
+bool
+MigrationEngine::migrate(Page *page, NodeId dst, SimTime &cost)
+{
+    MCLOCK_ASSERT(page->resident());
+    if (page->locked() || page->unevictable()) {
+        ++failed_;
+        return false;
+    }
+    Node &src = mem_.node(page->node());
+    Node &dstNode = mem_.node(dst);
+    if (dst == page->node())
+        return false;
+
+    Paddr newPaddr;
+    if (!dstNode.allocFrame(newPaddr)) {
+        ++failed_;
+        return false;
+    }
+
+    const Paddr oldPaddr = page->paddr();
+    cost = cfg_.pageMigrationCost(src.kind(), dstNode.kind());
+    if (llc_)
+        llc_->invalidatePage(oldPaddr);
+    src.freeFrame(oldPaddr);
+    page->placeOn(dst, newPaddr);
+    // Migration transfers contents; the new frame starts clean wrt the
+    // PTE dirty bit but the page remains logically dirty if it was.
+    page->setPteDirty(false);
+
+    ++migrations_;
+    const int srcKind = static_cast<int>(src.kind());
+    const int dstKind = static_cast<int>(dstNode.kind());
+    if (dstKind < srcKind)
+        ++promotions_;
+    else if (dstKind > srcKind)
+        ++demotions_;
+    return true;
+}
+
+bool
+MigrationEngine::exchange(Page *a, Page *b, SimTime &cost)
+{
+    MCLOCK_ASSERT(a->resident() && b->resident());
+    if (a->locked() || b->locked() || a->unevictable() ||
+        b->unevictable()) {
+        ++failed_;
+        return false;
+    }
+    if (a->node() == b->node())
+        return false;
+
+    Node &na = mem_.node(a->node());
+    Node &nb = mem_.node(b->node());
+
+    const Paddr pa = a->paddr();
+    const Paddr pb = b->paddr();
+    if (llc_) {
+        llc_->invalidatePage(pa);
+        llc_->invalidatePage(pb);
+    }
+    a->placeOn(nb.id(), pb);
+    b->placeOn(na.id(), pa);
+    a->setPteDirty(false);
+    b->setPteDirty(false);
+
+    // Nimble's two-sided exchange overlaps the copies; cost is ~1.7x a
+    // single migration rather than 2x.
+    const SimTime one = cfg_.pageMigrationCost(na.kind(), nb.kind());
+    const SimTime other = cfg_.pageMigrationCost(nb.kind(), na.kind());
+    cost = (one + other) * 85 / 100;
+
+    ++exchanges_;
+    ++migrations_;
+    ++promotions_;
+    ++demotions_;
+    return true;
+}
+
+}  // namespace sim
+}  // namespace mclock

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Page migration engine: the migrate_pages() analogue.
+ *
+ * Migrating a page allocates a destination frame, copies the contents
+ * (costed by tier bandwidths), fixes the mapping, invalidates stale LLC
+ * lines for the old physical location, and frees the source frame.
+ * Nimble-style two-sided page exchange is also provided.
+ */
+
+#ifndef MCLOCK_SIM_MIGRATION_HH_
+#define MCLOCK_SIM_MIGRATION_HH_
+
+#include <cstdint>
+
+#include "base/types.hh"
+#include "mem/memory_config.hh"
+
+namespace mclock {
+
+class CacheModel;
+class Page;
+
+namespace sim {
+
+class MemorySystem;
+
+/** Executes page migrations and accounts for their cost. */
+class MigrationEngine
+{
+  public:
+    MigrationEngine(MemorySystem &mem, const MemoryConfig &cfg,
+                    CacheModel *llc);
+
+    /**
+     * Migrate @p page to node @p dst.
+     *
+     * Fails (returns false) when the page is locked/unevictable or the
+     * destination has no free frame. On success, @p cost holds the
+     * simulated time the migration consumed (charged by the caller,
+     * inline or background depending on context) and the page's LRU
+     * membership is untouched — callers manage list moves.
+     */
+    bool migrate(Page *page, NodeId dst, SimTime &cost);
+
+    /**
+     * Two-sided exchange of the frames of @p a and @p b (Nimble's
+     * optimized exchange: one of the copies rides the other's buffer, so
+     * the cost is less than two independent migrations).
+     */
+    bool exchange(Page *a, Page *b, SimTime &cost);
+
+    std::uint64_t migrations() const { return migrations_; }
+    std::uint64_t promotions() const { return promotions_; }
+    std::uint64_t demotions() const { return demotions_; }
+    std::uint64_t exchanges() const { return exchanges_; }
+    std::uint64_t failed() const { return failed_; }
+
+  private:
+    MemorySystem &mem_;
+    const MemoryConfig &cfg_;
+    CacheModel *llc_;      ///< may be null (cache model disabled)
+    std::uint64_t migrations_ = 0;
+    std::uint64_t promotions_ = 0;
+    std::uint64_t demotions_ = 0;
+    std::uint64_t exchanges_ = 0;
+    std::uint64_t failed_ = 0;
+};
+
+}  // namespace sim
+}  // namespace mclock
+
+#endif  // MCLOCK_SIM_MIGRATION_HH_

@@ -1,0 +1,43 @@
+#include "sim/node.hh"
+
+#include "base/logging.hh"
+
+namespace mclock {
+namespace sim {
+
+Node::Node(NodeId id, TierKind kind, std::size_t totalFrames, Paddr paddrBase)
+    : id_(id), kind_(kind), totalFrames_(totalFrames), base_(paddrBase),
+      wm_(pfra::Watermarks::compute(totalFrames)),
+      inactiveRatio_(pfra::inactiveRatio(totalFrames))
+{
+    MCLOCK_ASSERT(totalFrames > 0);
+    freeList_.reserve(totalFrames);
+    // Push in reverse so the lowest-address frame is handed out first.
+    for (std::size_t i = totalFrames; i-- > 0;)
+        freeList_.push_back(static_cast<std::uint32_t>(i));
+}
+
+bool
+Node::allocFrame(Paddr &paddr)
+{
+    if (freeList_.empty())
+        return false;
+    const std::uint32_t frame = freeList_.back();
+    freeList_.pop_back();
+    paddr = base_ + static_cast<Paddr>(frame) * kPageSize;
+    return true;
+}
+
+void
+Node::freeFrame(Paddr paddr)
+{
+    MCLOCK_ASSERT(paddr >= base_ &&
+                  paddr < base_ + totalFrames_ * kPageSize);
+    MCLOCK_ASSERT((paddr - base_) % kPageSize == 0);
+    freeList_.push_back(static_cast<std::uint32_t>((paddr - base_) /
+                                                   kPageSize));
+    MCLOCK_ASSERT(freeList_.size() <= totalFrames_);
+}
+
+}  // namespace sim
+}  // namespace mclock

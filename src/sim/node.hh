@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A simulated NUMA node (the pglist_data analogue).
+ *
+ * Each bank of memory is one node. The DAX-KMEM driver hot-plugs PM as
+ * additional nodes, which our MemorySystem tags with TierKind::Pmem —
+ * mirroring the paper's pglist_data flag that lets MULTI-CLOCK recognise
+ * PM nodes. A node owns a frame pool, its watermarks, and its LRU lists.
+ */
+
+#ifndef MCLOCK_SIM_NODE_HH_
+#define MCLOCK_SIM_NODE_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "pfra/lru_lists.hh"
+#include "pfra/watermarks.hh"
+
+namespace mclock {
+namespace sim {
+
+/** One NUMA node: tier tag, frame pool, watermarks, LRU lists. */
+class Node
+{
+  public:
+    /**
+     * @param id          node number
+     * @param kind        DRAM or PM (the pglist_data tier tag)
+     * @param totalFrames frames managed by this node
+     * @param paddrBase   base simulated physical address
+     */
+    Node(NodeId id, TierKind kind, std::size_t totalFrames, Paddr paddrBase);
+
+    Node(const Node &) = delete;
+    Node &operator=(const Node &) = delete;
+    Node(Node &&) = default;
+
+    NodeId id() const { return id_; }
+    TierKind kind() const { return kind_; }
+    bool isPmem() const { return kind_ == TierKind::Pmem; }
+    std::size_t totalFrames() const { return totalFrames_; }
+    std::size_t freeFrames() const { return freeList_.size(); }
+    std::size_t usedFrames() const { return totalFrames_ - freeFrames(); }
+
+    const pfra::Watermarks &watermarks() const { return wm_; }
+    unsigned inactiveRatio() const { return inactiveRatio_; }
+
+    bool belowMin() const { return freeFrames() <= wm_.min; }
+    bool belowLow() const { return freeFrames() <= wm_.low; }
+    bool aboveHigh() const { return freeFrames() > wm_.high; }
+
+    /**
+     * Take a free frame.
+     * @param[out] paddr physical address of the frame
+     * @return false if the node is out of frames
+     */
+    bool allocFrame(Paddr &paddr);
+
+    /** Return a frame to the pool. */
+    void freeFrame(Paddr paddr);
+
+    /** This node's LRU lists. */
+    pfra::NodeLists &lists() { return lists_; }
+    const pfra::NodeLists &lists() const { return lists_; }
+
+  private:
+    NodeId id_;
+    TierKind kind_;
+    std::size_t totalFrames_;
+    Paddr base_;
+    std::vector<std::uint32_t> freeList_;  ///< stack of frame indices
+    pfra::Watermarks wm_;
+    unsigned inactiveRatio_;
+    pfra::NodeLists lists_;
+};
+
+}  // namespace sim
+}  // namespace mclock
+
+#endif  // MCLOCK_SIM_NODE_HH_

@@ -1,0 +1,394 @@
+#include "sim/simulator.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "vm/page.hh"
+
+namespace mclock {
+namespace sim {
+
+Simulator::Simulator(MachineConfig cfg)
+    : cfg_(std::move(cfg)),
+      mem_(cfg_.nodes),
+      llc_(cfg_.cache.enabled ? std::make_unique<CacheModel>(cfg_.cache)
+                              : nullptr),
+      migration_(mem_, cfg_.mem, llc_.get()),
+      metrics_(cfg_.metricsWindow),
+      swap_(cfg_.swapPages),
+      rng_(cfg_.seed)
+{
+}
+
+Simulator::~Simulator() = default;
+
+void
+Simulator::setPolicy(std::unique_ptr<policies::TieringPolicy> policy)
+{
+    MCLOCK_ASSERT(policy != nullptr);
+    policy_ = std::move(policy);
+    policy_->attach(*this);
+}
+
+Vaddr
+Simulator::mmap(std::size_t bytes, bool anon, const std::string &name)
+{
+    return space_.mmap(bytes, anon, name);
+}
+
+void
+Simulator::unmapRegion(Vaddr start)
+{
+    const Region *region = space_.regionOf(start);
+    MCLOCK_ASSERT(region != nullptr && region->start == start);
+    const PageNum first = pageNumOf(region->start);
+    const PageNum last = pageNumOf(region->end() - 1);
+    for (PageNum vpn = first; vpn <= last; ++vpn) {
+        Page *pg = space_.lookup(vpn);
+        if (!pg)
+            continue;
+        if (pg->onLru())
+            policy_->onPageFreed(pg);
+        MCLOCK_ASSERT(!pg->onLru());
+        if (pg->resident()) {
+            if (llc_)
+                llc_->invalidatePage(pg->paddr());
+            mem_.node(pg->node()).freeFrame(pg->paddr());
+            pg->unplace();
+        } else {
+            swap_.pageIn(pg);  // release the swap slot
+        }
+        space_.destroyPage(vpn);
+    }
+    space_.munmap(start);
+}
+
+void
+Simulator::read(Vaddr va, std::size_t bytes)
+{
+    accessRange(va, bytes, false, false);
+}
+
+void
+Simulator::write(Vaddr va, std::size_t bytes)
+{
+    accessRange(va, bytes, true, false);
+}
+
+void
+Simulator::readSupervised(Vaddr va, std::size_t bytes)
+{
+    accessRange(va, bytes, false, true);
+}
+
+void
+Simulator::writeSupervised(Vaddr va, std::size_t bytes)
+{
+    accessRange(va, bytes, true, true);
+}
+
+void
+Simulator::accessRange(Vaddr va, std::size_t bytes, bool write,
+                       bool supervised)
+{
+    MCLOCK_ASSERT(bytes > 0);
+    // Multi-byte operations (memcpy-style) touch every line of the
+    // range; we sample one access per 512 B sub-block, which preserves
+    // the per-page reference behaviour and the memory-boundedness of
+    // large transfers without simulating all 64 B lines.
+    constexpr Vaddr kStride = 512;
+    const Vaddr lastByte = va + bytes - 1;
+    accessOnePage(va, write, supervised);
+    for (Vaddr cursor = (va & ~(kStride - 1)) + kStride;
+         cursor <= lastByte; cursor += kStride) {
+        accessOnePage(cursor, write, supervised);
+    }
+}
+
+void
+Simulator::compute(SimTime duration)
+{
+    const SimTime target = now_ + duration;
+    while (daemons_.nextDue() <= target) {
+        now_ = std::max(now_, daemons_.nextDue());
+        daemons_.runDue(now_);
+    }
+    now_ = std::max(now_, target);
+}
+
+TierKind
+Simulator::pageTier(const Page *page) const
+{
+    MCLOCK_ASSERT(page->resident());
+    return mem_.node(page->node()).kind();
+}
+
+void
+Simulator::chargeInline(SimTime t)
+{
+    now_ += t;
+    metrics_.stats().inc("inline_overhead_ns", t);
+}
+
+void
+Simulator::chargeBackground(SimTime t)
+{
+    const auto charged = static_cast<SimTime>(
+        static_cast<double>(t) * cfg_.mem.backgroundInterference);
+    now_ += charged;
+    metrics_.stats().inc("background_work_ns", t);
+    metrics_.stats().inc("background_charged_ns", charged);
+}
+
+void
+Simulator::chargeScan(std::uint64_t pages)
+{
+    if (pages == 0)
+        return;
+    metrics_.stats().inc("scanned_pages", pages);
+    chargeBackground(pages * cfg_.mem.scanPerPageCost);
+}
+
+void
+Simulator::chargeMigration(SimTime cost, ChargeMode mode,
+                           SimTime inlinePortion)
+{
+    switch (mode) {
+      case ChargeMode::Inline:
+        chargeInline(cost);
+        break;
+      case ChargeMode::Background:
+        // Even daemon-driven migrations interrupt the application: the
+        // unmap/TLB-shootdown portion sends IPIs to every core running
+        // the process, so that part lands on the critical path.
+        inlinePortion = std::min(inlinePortion, cost);
+        chargeInline(inlinePortion);
+        chargeBackground(cost - inlinePortion);
+        break;
+      case ChargeMode::FaultPath:
+        chargeInline(static_cast<SimTime>(
+            static_cast<double>(cost) *
+            cfg_.mem.faultPathMigrationMultiplier));
+        break;
+    }
+}
+
+bool
+Simulator::migratePage(Page *page, NodeId dst, ChargeMode mode)
+{
+    MCLOCK_ASSERT(!page->onLru());
+    const TierKind srcKind = pageTier(page);
+    SimTime cost = 0;
+    if (!migration_.migrate(page, dst, cost))
+        return false;
+    const TierKind dstKind = mem_.node(dst).kind();
+    chargeMigration(cost, mode, cfg_.mem.migrationFixedCost);
+    if (static_cast<int>(dstKind) < static_cast<int>(srcKind))
+        metrics_.recordPromotion(now_, page);
+    else if (static_cast<int>(dstKind) > static_cast<int>(srcKind))
+        metrics_.recordDemotion(now_);
+    return true;
+}
+
+bool
+Simulator::promotePage(Page *page, ChargeMode mode)
+{
+    TierKind up;
+    if (!mem_.higherTier(pageTier(page), up))
+        return false;
+    const NodeId dst = mem_.pickNodeWithSpace(up, /*respectMin=*/false);
+    if (dst == kInvalidNode)
+        return false;
+    return migratePage(page, dst, mode);
+}
+
+bool
+Simulator::demotePage(Page *page, ChargeMode mode)
+{
+    TierKind down;
+    if (!mem_.lowerTier(pageTier(page), down))
+        return false;
+    const NodeId dst = mem_.pickNodeWithSpace(down, /*respectMin=*/true);
+    if (dst == kInvalidNode)
+        return false;
+    return migratePage(page, dst, mode);
+}
+
+bool
+Simulator::exchangePages(Page *hot, Page *cold, ChargeMode mode)
+{
+    MCLOCK_ASSERT(!hot->onLru() && !cold->onLru());
+    const TierKind hotSrc = pageTier(hot);
+    SimTime cost = 0;
+    if (!migration_.exchange(hot, cold, cost))
+        return false;
+    chargeMigration(cost, mode, cfg_.mem.migrationFixedCost * 17 / 10);
+    // The hot page moved up, the cold page moved down (by construction
+    // callers pass (pm-page, dram-page)).
+    if (hotSrc == TierKind::Pmem)
+        metrics_.recordPromotion(now_, hot);
+    metrics_.recordDemotion(now_);
+    return true;
+}
+
+void
+Simulator::evictPage(Page *page)
+{
+    MCLOCK_ASSERT(!page->onLru());
+    MCLOCK_ASSERT(page->resident());
+    if (!page->isAnon() || swap_.hasSpace()) {
+        swap_.pageOut(page);
+        chargeBackground(cfg_.mem.swapLatency);
+        if (llc_)
+            llc_->invalidatePage(page->paddr());
+        mem_.node(page->node()).freeFrame(page->paddr());
+        page->unplace();
+        page->setReferenced(false);
+        page->setActive(false);
+        page->setPromoteFlag(false);
+        page->setPteReferenced(false);
+        metrics_.stats().inc("swap_outs");
+    } else {
+        // No swap space: in the kernel this path ends with the OOM
+        // killer. We surface it as a fatal config error instead.
+        MCLOCK_FATAL("out of memory: no swap space for eviction");
+    }
+}
+
+void
+Simulator::maybeReclaim(Node &node)
+{
+    if (inPressure_ || !policy_)
+        return;
+    inPressure_ = true;
+    policy_->handlePressure(node);
+    inPressure_ = false;
+}
+
+void
+Simulator::runDueDaemons()
+{
+    daemons_.runDue(now_);
+}
+
+void
+Simulator::accessOnePage(Vaddr va, bool write, bool supervised)
+{
+    if (daemons_.nextDue() <= now_) [[unlikely]]
+        runDueDaemons();
+
+    const PageNum vpn = pageNumOf(va);
+    Page *pg = space_.lookup(vpn);
+    if (!pg) [[unlikely]] {
+        pg = handleMinorFault(vpn);
+    } else if (!pg->resident()) [[unlikely]] {
+        handleSwapIn(pg);
+    }
+
+    if (pg->hintPoisoned()) [[unlikely]] {
+        pg->setHintPoisoned(false);
+        chargeInline(cfg_.mem.hintFaultLatency);
+        metrics_.stats().inc("hint_faults");
+        policy_->onHintFault(pg);
+    }
+
+    if (supervised) [[unlikely]]
+        policy_->onSupervisedAccess(pg);
+
+    bool llcHit = false;
+    if (llc_) {
+        const Paddr pa = pg->paddr() + (va & (kPageSize - 1));
+        llcHit = llc_->access(pa, write).hit;
+    }
+    const TierKind tier = mem_.node(pg->node()).kind();
+    metrics_.recordAccess(now_, tier, llcHit);
+    if (llcHit) {
+        now_ += cfg_.cache.hitLatency;
+        return;
+    }
+
+    // Memory-visible access: the hardware walks the page table and sets
+    // the PTE accessed (and on stores, dirty) bits.
+    pg->setPteReferenced(true);
+    if (write) {
+        pg->setPteDirty(true);
+        pg->setDirty(true);
+    }
+    pg->bumpAccessCount();
+    pg->setLastAccess(now_);
+    if (tier == TierKind::Dram)
+        metrics_.maybeRecordReaccess(now_, pg);
+
+    policies::AccessContext ctx;
+    ctx.va = va;
+    ctx.write = write;
+    policy_->onMemoryAccess(pg, ctx);
+
+    SimTime lat;
+    if (ctx.latencyOverridden) {
+        lat = ctx.latency;
+    } else {
+        const auto &timing = cfg_.mem.timing(tier);
+        lat = write ? timing.storeLatency : timing.loadLatency;
+    }
+    now_ += lat;
+}
+
+Page *
+Simulator::handleMinorFault(PageNum vpn)
+{
+    Page *pg = space_.createPage(vpn);
+    allocateFrameFor(pg);
+    policy_->onPageAllocated(pg);
+    const SimTime zeroFill = cfg_.mem.copyLatency(
+        pageTier(pg), pageTier(pg), kPageSize);
+    chargeInline(cfg_.mem.minorFaultLatency + zeroFill);
+    metrics_.stats().inc("minor_faults");
+    return pg;
+}
+
+void
+Simulator::handleSwapIn(Page *page)
+{
+    allocateFrameFor(page);
+    swap_.pageIn(page);
+    policy_->onPageAllocated(page);
+    chargeInline(cfg_.mem.minorFaultLatency + cfg_.mem.swapLatency);
+    metrics_.stats().inc("swap_ins");
+}
+
+void
+Simulator::allocateFrameFor(Page *page)
+{
+    for (int attempt = 0; attempt < 3; ++attempt) {
+        const NodeId nid = policy_->selectAllocationNode(*page);
+        if (nid != kInvalidNode) {
+            Node &node = mem_.node(nid);
+            Paddr pa;
+            if (node.allocFrame(pa)) {
+                page->placeOn(nid, pa);
+                // kswapd wakeup: the allocator noticed a node dipping
+                // below its low watermark.
+                mem_.forEachNode([this](Node &n) {
+                    if (n.belowLow())
+                        maybeReclaim(n);
+                });
+                return;
+            }
+        }
+        // Direct reclaim: push on the most-used node of the lowest tier.
+        const TierKind lowest = mem_.tierOrder().back();
+        Node *worst = nullptr;
+        for (NodeId id : mem_.tier(lowest)) {
+            Node &n = mem_.node(id);
+            if (!worst || n.freeFrames() < worst->freeFrames())
+                worst = &n;
+        }
+        MCLOCK_ASSERT(worst != nullptr);
+        maybeReclaim(*worst);
+    }
+    MCLOCK_FATAL("allocation failed after direct reclaim (OOM)");
+}
+
+}  // namespace sim
+}  // namespace mclock

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The simulator core: ties the machine model, virtual memory, migration
+ * engine, daemon scheduler, metrics, and the active tiering policy into
+ * one simulated host.
+ *
+ * Workloads drive it through read()/write()/compute(); policies drive it
+ * through the service API (migration wrappers, time charging, daemon
+ * registration). All time is simulated nanoseconds; throughput numbers
+ * reported by the benches are operations per simulated second.
+ */
+
+#ifndef MCLOCK_SIM_SIMULATOR_HH_
+#define MCLOCK_SIM_SIMULATOR_HH_
+
+#include <memory>
+#include <string>
+
+#include "base/rng.hh"
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "mem/cache.hh"
+#include "mem/memory_config.hh"
+#include "policies/policy.hh"
+#include "sim/daemon.hh"
+#include "sim/machine.hh"
+#include "sim/memory_system.hh"
+#include "sim/metrics.hh"
+#include "sim/migration.hh"
+#include "vm/address_space.hh"
+#include "vm/swap.hh"
+
+namespace mclock {
+namespace sim {
+
+/** One simulated host running one application under one policy. */
+class Simulator
+{
+  public:
+    explicit Simulator(MachineConfig cfg);
+    ~Simulator();
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Install the tiering policy (must precede any access). */
+    void setPolicy(std::unique_ptr<policies::TieringPolicy> policy);
+
+    policies::TieringPolicy &policy() { return *policy_; }
+
+    // --- Application-facing API ------------------------------------------
+
+    /** Reserve a region (see AddressSpace::mmap). */
+    Vaddr mmap(std::size_t bytes, bool anon = true,
+               const std::string &name = "anon");
+
+    /** Tear down a region: frees frames, lists entries, and swap slots. */
+    void unmapRegion(Vaddr start);
+
+    /** Unsupervised (mmap-style) load of @p bytes starting at @p va. */
+    void read(Vaddr va, std::size_t bytes = 8);
+
+    /** Unsupervised (mmap-style) store. */
+    void write(Vaddr va, std::size_t bytes = 8);
+
+    /** Supervised load: the syscall path calls mark_page_accessed(). */
+    void readSupervised(Vaddr va, std::size_t bytes = 8);
+
+    /** Supervised store. */
+    void writeSupervised(Vaddr va, std::size_t bytes = 8);
+
+    /** Pure CPU work: advances time, dispatching daemons on the way. */
+    void compute(SimTime duration);
+
+    SimTime now() const { return now_; }
+
+    // --- Services for policies -------------------------------------------
+
+    MemorySystem &memory() { return mem_; }
+    const MachineConfig &config() const { return cfg_; }
+    const MemoryConfig &memConfig() const { return cfg_.mem; }
+    Metrics &metrics() { return metrics_; }
+    StatRegistry &stats() { return metrics_.stats(); }
+    DaemonScheduler &daemons() { return daemons_; }
+    AddressSpace &space() { return space_; }
+    SwapDevice &swap() { return swap_; }
+    Rng &rng() { return rng_; }
+
+    /** LLC filter model, or nullptr when disabled. */
+    CacheModel *llc() { return llc_.get(); }
+
+    /** Tier kind of the node currently holding @p page. */
+    TierKind pageTier(const Page *page) const;
+
+    /** How migration/exchange costs are charged to the clock. */
+    enum class ChargeMode {
+        Inline,      ///< full cost on the application's critical path
+        Background,  ///< daemon-core work; interference fraction only
+        FaultPath,   ///< inline x faultPathMigrationMultiplier (synchronous
+                     ///< migration inside a fault handler)
+    };
+
+    /** Charge work on the application's critical path. */
+    void chargeInline(SimTime t);
+
+    /**
+     * Charge daemon work performed on another core; only the configured
+     * interference fraction reaches the application's clock.
+     */
+    void chargeBackground(SimTime t);
+
+    /** Charge the cost of scanning @p pages LRU entries (background). */
+    void chargeScan(std::uint64_t pages);
+
+    /**
+     * Migrate an isolated page (not on any LRU list) to @p dst, charging
+     * the cost and recording promotion/demotion metrics by direction.
+     */
+    bool migratePage(Page *page, NodeId dst, ChargeMode mode);
+
+    /**
+     * Migrate an isolated page one tier up, picking the destination node
+     * with the most space. Fails when no higher tier or no free frame.
+     */
+    bool promotePage(Page *page, ChargeMode mode);
+
+    /** Migrate an isolated page one tier down. */
+    bool demotePage(Page *page, ChargeMode mode);
+
+    /** Two-sided exchange of two isolated pages (Nimble). */
+    bool exchangePages(Page *hot, Page *cold, ChargeMode mode);
+
+    /**
+     * Evict an isolated page to block storage: write back if dirty, free
+     * its frame, and leave it non-resident in its address space.
+     */
+    void evictPage(Page *page);
+
+    /**
+     * Run the policy's pressure handler on @p node unless we are already
+     * inside one (direct-reclaim reentrancy guard).
+     */
+    void maybeReclaim(Node &node);
+
+    MigrationEngine &migrationEngine() { return migration_; }
+
+  private:
+    void chargeMigration(SimTime cost, ChargeMode mode,
+                         SimTime inlinePortion = 0);
+    void accessOnePage(Vaddr va, bool write, bool supervised);
+    void accessRange(Vaddr va, std::size_t bytes, bool write,
+                     bool supervised);
+    Page *handleMinorFault(PageNum vpn);
+    void handleSwapIn(Page *page);
+    void allocateFrameFor(Page *page);
+    void runDueDaemons();
+
+    MachineConfig cfg_;
+    MemorySystem mem_;
+    std::unique_ptr<CacheModel> llc_;
+    MigrationEngine migration_;
+    DaemonScheduler daemons_;
+    Metrics metrics_;
+    AddressSpace space_;
+    SwapDevice swap_;
+    Rng rng_;
+    std::unique_ptr<policies::TieringPolicy> policy_;
+    SimTime now_ = 0;
+    bool inPressure_ = false;
+};
+
+}  // namespace sim
+}  // namespace mclock
+
+#endif  // MCLOCK_SIM_SIMULATOR_HH_

@@ -1,0 +1,2 @@
+// AccessTrace is header-only; this translation unit anchors the module.
+#include "trace/access_trace.hh"

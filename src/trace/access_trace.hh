@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Page-access trace capture (the paper's §II-A methodology).
+ *
+ * The motivation experiments sample pages from memory, assign them
+ * identifiers, and trace accesses to them over time. AccessTrace stores
+ * (page id, timestamp) events that the heatmap (Fig. 1) and the
+ * observation/performance window analysis (Fig. 2) post-process.
+ */
+
+#ifndef MCLOCK_TRACE_ACCESS_TRACE_HH_
+#define MCLOCK_TRACE_ACCESS_TRACE_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace mclock {
+namespace trace {
+
+/** One recorded access. */
+struct AccessEvent
+{
+    std::uint32_t page;  ///< workload-assigned page identifier
+    SimTime time;
+};
+
+/** Append-only access trace. */
+class AccessTrace
+{
+  public:
+    void
+    record(std::uint32_t page, SimTime time)
+    {
+        events_.push_back({page, time});
+    }
+
+    const std::vector<AccessEvent> &events() const { return events_; }
+    std::size_t size() const { return events_.size(); }
+    bool empty() const { return events_.empty(); }
+
+    /** Timestamp of the last event (0 when empty). */
+    SimTime endTime() const
+    {
+        return events_.empty() ? 0 : events_.back().time;
+    }
+
+    void clear() { events_.clear(); }
+    void reserve(std::size_t n) { events_.reserve(n); }
+
+  private:
+    std::vector<AccessEvent> events_;
+};
+
+}  // namespace trace
+}  // namespace mclock
+
+#endif  // MCLOCK_TRACE_ACCESS_TRACE_HH_

@@ -1,0 +1,99 @@
+#include "trace/heatmap.hh"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "base/logging.hh"
+
+namespace mclock {
+namespace trace {
+
+Heatmap
+Heatmap::build(const AccessTrace &trace, std::size_t numPages,
+               HeatmapConfig cfg)
+{
+    MCLOCK_ASSERT(numPages > 0);
+    Heatmap hm;
+    hm.buckets_ = cfg.timeBuckets;
+
+    // Random sample without replacement (Fisher-Yates prefix).
+    Rng rng(cfg.seed);
+    std::vector<std::uint32_t> ids(numPages);
+    for (std::size_t i = 0; i < numPages; ++i)
+        ids[i] = static_cast<std::uint32_t>(i);
+    const std::size_t k = std::min(cfg.sampledPages, numPages);
+    for (std::size_t i = 0; i < k; ++i) {
+        const std::size_t j =
+            i + static_cast<std::size_t>(rng.nextRange(numPages - i));
+        std::swap(ids[i], ids[j]);
+    }
+    hm.pages_.assign(ids.begin(), ids.begin() + static_cast<long>(k));
+    std::sort(hm.pages_.begin(), hm.pages_.end());
+
+    std::unordered_map<std::uint32_t, std::size_t> rowOf;
+    for (std::size_t r = 0; r < hm.pages_.size(); ++r)
+        rowOf[hm.pages_[r]] = r;
+
+    hm.counts_.assign(hm.pages_.size() * hm.buckets_, 0);
+    const SimTime end = std::max<SimTime>(trace.endTime(), 1);
+    for (const auto &ev : trace.events()) {
+        auto it = rowOf.find(ev.page);
+        if (it == rowOf.end())
+            continue;
+        std::size_t bucket = static_cast<std::size_t>(
+            static_cast<unsigned long long>(ev.time) * hm.buckets_ / end);
+        if (bucket >= hm.buckets_)
+            bucket = hm.buckets_ - 1;
+        ++hm.counts_[it->second * hm.buckets_ + bucket];
+    }
+    return hm;
+}
+
+std::uint64_t
+Heatmap::count(std::size_t row, std::size_t bucket) const
+{
+    MCLOCK_ASSERT(row < pages_.size() && bucket < buckets_);
+    return counts_[row * buckets_ + bucket];
+}
+
+void
+Heatmap::writeCsv(CsvWriter &csv) const
+{
+    std::vector<std::string> header{"page"};
+    for (std::size_t b = 0; b < buckets_; ++b)
+        header.push_back("t" + std::to_string(b));
+    csv.writeHeader(header);
+    for (std::size_t r = 0; r < pages_.size(); ++r) {
+        std::vector<std::string> row{std::to_string(pages_[r])};
+        for (std::size_t b = 0; b < buckets_; ++b)
+            row.push_back(std::to_string(count(r, b)));
+        csv.writeRow(row);
+    }
+}
+
+void
+Heatmap::render(std::ostream &os) const
+{
+    std::uint64_t maxCount = 1;
+    for (std::uint64_t c : counts_)
+        maxCount = std::max(maxCount, c);
+    for (std::size_t r = 0; r < pages_.size(); ++r) {
+        os.width(8);
+        os << pages_[r] << " |";
+        for (std::size_t b = 0; b < buckets_; ++b) {
+            const std::uint64_t c = count(r, b);
+            const char *shade = " ";
+            if (c > 0) {
+                const double rel =
+                    static_cast<double>(c) / static_cast<double>(maxCount);
+                shade = rel > 0.5 ? "#" : (rel > 0.15 ? "+" : ".");
+            }
+            os << shade;
+        }
+        os << "|\n";
+    }
+}
+
+}  // namespace trace
+}  // namespace mclock

@@ -1,0 +1,60 @@
+#include "trace/window_analysis.hh"
+
+#include <unordered_map>
+
+#include "base/logging.hh"
+
+namespace mclock {
+namespace trace {
+
+WindowAnalysisResult
+analyzeWindows(const AccessTrace &trace, SimTime obsWindow,
+               SimTime perfWindow)
+{
+    MCLOCK_ASSERT(obsWindow > 0 && perfWindow > 0);
+    const SimTime period = obsWindow + perfWindow;
+
+    struct Counts
+    {
+        std::uint32_t obs = 0;
+        std::uint32_t perf = 0;
+    };
+    // Key: (window-pair index, page id).
+    std::unordered_map<std::uint64_t, Counts> perPage;
+    perPage.reserve(trace.size() / 4 + 16);
+
+    for (const auto &ev : trace.events()) {
+        const std::uint64_t pair = ev.time / period;
+        const bool inObs = (ev.time % period) < obsWindow;
+        auto &c = perPage[(pair << 32) | ev.page];
+        if (inObs)
+            ++c.obs;
+        else
+            ++c.perf;
+    }
+
+    WindowAnalysisResult result;
+    double singleSum = 0.0;
+    double multiSum = 0.0;
+    for (const auto &[key, c] : perPage) {
+        (void)key;
+        if (c.obs == 1) {
+            ++result.singleSamples;
+            singleSum += c.perf;
+        } else if (c.obs > 1) {
+            ++result.multiSamples;
+            multiSum += c.perf;
+        }
+        // Pages seen only in the performance window contribute nothing.
+    }
+    if (result.singleSamples)
+        result.singleMeanPerfAccesses =
+            singleSum / static_cast<double>(result.singleSamples);
+    if (result.multiSamples)
+        result.multiMeanPerfAccesses =
+            multiSum / static_cast<double>(result.multiSamples);
+    return result;
+}
+
+}  // namespace trace
+}  // namespace mclock

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Observation/performance window analysis (paper Fig. 2).
+ *
+ * The execution period is divided into (observation window, performance
+ * window) pairs. Pages accessed during an observation window are split
+ * into those accessed exactly once and those accessed multiple times;
+ * the analysis then measures their mean access counts in the following
+ * performance window. The paper's finding — multi-access pages are far
+ * more likely to be accessed next — is MULTI-CLOCK's core hypothesis.
+ */
+
+#ifndef MCLOCK_TRACE_WINDOW_ANALYSIS_HH_
+#define MCLOCK_TRACE_WINDOW_ANALYSIS_HH_
+
+#include <cstdint>
+
+#include "base/types.hh"
+#include "trace/access_trace.hh"
+
+namespace mclock {
+namespace trace {
+
+/** Aggregated Fig. 2 statistics. */
+struct WindowAnalysisResult
+{
+    /** Pages accessed exactly once in an observation window. */
+    std::uint64_t singleSamples = 0;
+    double singleMeanPerfAccesses = 0.0;
+    /** Pages accessed more than once in an observation window. */
+    std::uint64_t multiSamples = 0;
+    double multiMeanPerfAccesses = 0.0;
+
+    /** multi / single mean ratio (> 1 supports the hypothesis). */
+    double
+    ratio() const
+    {
+        return singleMeanPerfAccesses > 0.0
+            ? multiMeanPerfAccesses / singleMeanPerfAccesses
+            : 0.0;
+    }
+};
+
+/**
+ * Run the analysis over every (observation, performance) pair.
+ *
+ * @param trace       recorded accesses
+ * @param obsWindow   observation window length
+ * @param perfWindow  performance window length
+ */
+WindowAnalysisResult analyzeWindows(const AccessTrace &trace,
+                                    SimTime obsWindow, SimTime perfWindow);
+
+}  // namespace trace
+}  // namespace mclock
+
+#endif  // MCLOCK_TRACE_WINDOW_ANALYSIS_HH_

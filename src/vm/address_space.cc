@@ -1,0 +1,68 @@
+#include "vm/address_space.hh"
+
+#include "base/logging.hh"
+
+namespace mclock {
+
+AddressSpace::AddressSpace() = default;
+
+Vaddr
+AddressSpace::mmap(std::size_t bytes, bool anon, const std::string &name)
+{
+    MCLOCK_ASSERT(bytes > 0);
+    const std::size_t rounded = (bytes + kPageSize - 1) & ~(kPageSize - 1);
+    const Vaddr start = nextFree_;
+    nextFree_ += rounded;
+    regions_.push_back(Region{start, rounded, anon, name});
+    const PageNum limit = pageNumOf(nextFree_);
+    if (pages_.size() < limit)
+        pages_.resize(limit);
+    return start;
+}
+
+void
+AddressSpace::munmap(Vaddr start)
+{
+    for (auto it = regions_.begin(); it != regions_.end(); ++it) {
+        if (it->start == start) {
+            regions_.erase(it);
+            return;
+        }
+    }
+    MCLOCK_PANIC("munmap of unknown region at 0x%llx",
+                 static_cast<unsigned long long>(start));
+}
+
+Page *
+AddressSpace::createPage(PageNum vpn)
+{
+    MCLOCK_ASSERT(vpn < pages_.size());
+    MCLOCK_ASSERT(!pages_[vpn]);
+    const Region *region = regionOf(vpn << kPageShift);
+    MCLOCK_ASSERT(region != nullptr);
+    pages_[vpn] = std::make_unique<Page>(this, vpn, region->anon);
+    ++livePages_;
+    return pages_[vpn].get();
+}
+
+void
+AddressSpace::destroyPage(PageNum vpn)
+{
+    MCLOCK_ASSERT(vpn < pages_.size() && pages_[vpn]);
+    MCLOCK_ASSERT(!pages_[vpn]->onLru());
+    pages_[vpn].reset();
+    MCLOCK_ASSERT(livePages_ > 0);
+    --livePages_;
+}
+
+const Region *
+AddressSpace::regionOf(Vaddr va) const
+{
+    for (const auto &r : regions_) {
+        if (va >= r.start && va < r.end())
+            return &r;
+    }
+    return nullptr;
+}
+
+}  // namespace mclock

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * A simulated process address space.
+ *
+ * Workloads obtain page-aligned regions through mmap() (anonymous or
+ * file-backed) and touch them through the Simulator. Pages are
+ * materialised lazily on first touch, exactly like demand paging. The
+ * vpn -> Page mapping is a dense vector because the bump allocator hands
+ * out contiguous regions, which keeps the simulator's translation on the
+ * access fast path to a single indexed load.
+ */
+
+#ifndef MCLOCK_VM_ADDRESS_SPACE_HH_
+#define MCLOCK_VM_ADDRESS_SPACE_HH_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "vm/page.hh"
+
+namespace mclock {
+
+/** One mmap'ed region. */
+struct Region
+{
+    Vaddr start;
+    std::size_t bytes;
+    bool anon;
+    std::string name;
+
+    Vaddr end() const { return start + bytes; }
+};
+
+/** Simulated virtual address space with lazy page materialisation. */
+class AddressSpace
+{
+  public:
+    AddressSpace();
+
+    AddressSpace(const AddressSpace &) = delete;
+    AddressSpace &operator=(const AddressSpace &) = delete;
+
+    /**
+     * Reserve a page-aligned region of at least @p bytes.
+     *
+     * @param bytes requested size (rounded up to whole pages)
+     * @param anon  true for anonymous memory, false for file-backed
+     * @param name  label for diagnostics ("heap", "csr-edges", ...)
+     * @return the starting virtual address
+     */
+    Vaddr mmap(std::size_t bytes, bool anon = true,
+               const std::string &name = "anon");
+
+    /**
+     * Release the region starting at @p start. The pages themselves must
+     * already have been torn down by the caller (the Simulator owns the
+     * frame/list bookkeeping); this forgets the mapping.
+     */
+    void munmap(Vaddr start);
+
+    /** Translate a vpn to its Page, or nullptr if never touched. */
+    Page *
+    lookup(PageNum vpn) const
+    {
+        if (vpn >= pages_.size())
+            return nullptr;
+        return pages_[vpn].get();
+    }
+
+    /**
+     * Materialise the Page for @p vpn (first touch). The page inherits
+     * anon/file from its containing region. Panics if already present or
+     * outside any region.
+     */
+    Page *createPage(PageNum vpn);
+
+    /** Destroy the Page for @p vpn (region teardown). */
+    void destroyPage(PageNum vpn);
+
+    /** Region containing @p va, or nullptr. */
+    const Region *regionOf(Vaddr va) const;
+
+    const std::vector<Region> &regions() const { return regions_; }
+
+    /** Number of pages ever materialised and still alive. */
+    std::size_t pageCount() const { return livePages_; }
+
+    /** Upper bound of allocated vpns (for iteration). */
+    PageNum vpnLimit() const { return pageNumOf(nextFree_); }
+
+    /**
+     * Invoke @p fn on every live page. Used by policies that need a full
+     * profiling pass (e.g. the AMP baseline) and by teardown.
+     */
+    template <typename Fn>
+    void
+    forEachPage(Fn &&fn) const
+    {
+        for (const auto &p : pages_) {
+            if (p)
+                fn(p.get());
+        }
+    }
+
+  private:
+    // Start above zero so null-page bugs trap loudly.
+    static constexpr Vaddr kBase = 0x10000;
+
+    std::vector<Region> regions_;
+    std::vector<std::unique_ptr<Page>> pages_;
+    Vaddr nextFree_ = kBase;
+    std::size_t livePages_ = 0;
+};
+
+}  // namespace mclock
+
+#endif  // MCLOCK_VM_ADDRESS_SPACE_HH_

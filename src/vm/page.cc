@@ -1,0 +1,21 @@
+#include "vm/page.hh"
+
+namespace mclock {
+
+const char *
+lruListName(LruListKind kind)
+{
+    switch (kind) {
+      case LruListKind::None: return "none";
+      case LruListKind::InactiveAnon: return "inactive_anon";
+      case LruListKind::ActiveAnon: return "active_anon";
+      case LruListKind::PromoteAnon: return "promote_anon";
+      case LruListKind::InactiveFile: return "inactive_file";
+      case LruListKind::ActiveFile: return "active_file";
+      case LruListKind::PromoteFile: return "promote_file";
+      case LruListKind::Unevictable: return "unevictable";
+    }
+    return "unknown";
+}
+
+}  // namespace mclock

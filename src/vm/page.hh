@@ -1,0 +1,218 @@
+/**
+ * @file
+ * The simulated analogue of the kernel's struct page.
+ *
+ * A Page describes one resident (or swapped-out) virtual page: which NUMA
+ * node holds its frame, its LRU list membership, and its flag bits. The
+ * flag set mirrors Linux 5.3 plus the one flag MULTI-CLOCK adds
+ * (PagePromote), and the PTE-level state (accessed/dirty/present bits)
+ * that the hardware maintains in the process page table is folded in as
+ * well, since our pages are singly mapped.
+ */
+
+#ifndef MCLOCK_VM_PAGE_HH_
+#define MCLOCK_VM_PAGE_HH_
+
+#include <cstdint>
+
+#include "base/intrusive_list.hh"
+#include "base/types.hh"
+
+namespace mclock {
+
+class AddressSpace;
+
+/** Which per-node LRU list a page currently lives on. */
+enum class LruListKind : std::uint8_t {
+    None = 0,        ///< not on any list (being migrated, or isolated)
+    InactiveAnon,
+    ActiveAnon,
+    PromoteAnon,     ///< MULTI-CLOCK's new list (anonymous pages)
+    InactiveFile,
+    ActiveFile,
+    PromoteFile,     ///< MULTI-CLOCK's new list (file-backed pages)
+    Unevictable,
+};
+
+constexpr int kNumLruLists = 8;
+
+/** Human-readable list name ("inactive_anon", ...). */
+const char *lruListName(LruListKind kind);
+
+/** True for the two lists introduced by MULTI-CLOCK. */
+inline bool
+isPromoteList(LruListKind kind)
+{
+    return kind == LruListKind::PromoteAnon ||
+           kind == LruListKind::PromoteFile;
+}
+
+inline bool
+isActiveList(LruListKind kind)
+{
+    return kind == LruListKind::ActiveAnon ||
+           kind == LruListKind::ActiveFile;
+}
+
+inline bool
+isInactiveList(LruListKind kind)
+{
+    return kind == LruListKind::InactiveAnon ||
+           kind == LruListKind::InactiveFile;
+}
+
+/** struct page: flags, placement, and list linkage for one virtual page. */
+class Page
+{
+  public:
+    Page(AddressSpace *space, PageNum vpn, bool anon)
+        : space_(space), vpn_(vpn), anon_(anon)
+    {}
+
+    Page(const Page &) = delete;
+    Page &operator=(const Page &) = delete;
+
+    AddressSpace *space() const { return space_; }
+    PageNum vpn() const { return vpn_; }
+    Vaddr vaddr() const { return vpn_ << kPageShift; }
+
+    /** File-backed vs anonymous mapping (fixed at creation). */
+    bool isAnon() const { return anon_; }
+
+    // --- Frame placement -------------------------------------------------
+    NodeId node() const { return node_; }
+    Paddr paddr() const { return paddr_; }
+    bool resident() const { return node_ != kInvalidNode; }
+
+    void
+    placeOn(NodeId node, Paddr paddr)
+    {
+        node_ = node;
+        paddr_ = paddr;
+    }
+
+    void
+    unplace()
+    {
+        node_ = kInvalidNode;
+        paddr_ = 0;
+    }
+
+    // --- Software page flags (struct page flags) -------------------------
+    bool referenced() const { return referenced_; }
+    void setReferenced(bool v) { referenced_ = v; }
+
+    bool active() const { return active_; }
+    void setActive(bool v) { active_ = v; }
+
+    /** MULTI-CLOCK's PagePromote flag. */
+    bool promoteFlag() const { return promote_; }
+    void setPromoteFlag(bool v) { promote_ = v; }
+
+    bool dirty() const { return dirty_; }
+    void setDirty(bool v) { dirty_ = v; }
+
+    bool unevictable() const { return unevictable_; }
+    void setUnevictable(bool v) { unevictable_ = v; }
+
+    /** Page is pinned/locked and may not be migrated right now. */
+    bool locked() const { return locked_; }
+    void setLocked(bool v) { locked_ = v; }
+
+    // --- PTE-level state (maintained by the "hardware") ------------------
+    /** Accessed bit the CPU sets in the PTE on a page-table walk. */
+    bool pteReferenced() const { return pteReferenced_; }
+    void setPteReferenced(bool v) { pteReferenced_ = v; }
+
+    /** Test-and-clear, as the kernel's page_referenced() rmap walk does. */
+    bool
+    testAndClearPteReferenced()
+    {
+        const bool was = pteReferenced_;
+        pteReferenced_ = false;
+        return was;
+    }
+
+    bool pteDirty() const { return pteDirty_; }
+    void setPteDirty(bool v) { pteDirty_ = v; }
+
+    /**
+     * PTE poisoned for NUMA-hint fault tracking (PROT_NONE). The next
+     * access traps into the policy instead of completing directly.
+     */
+    bool hintPoisoned() const { return hintPoisoned_; }
+    void setHintPoisoned(bool v) { hintPoisoned_ = v; }
+
+    // --- LRU list membership ---------------------------------------------
+    LruListKind list() const { return list_; }
+    void setList(LruListKind kind) { list_ = kind; }
+    bool onLru() const { return list_ != LruListKind::None; }
+
+    /** Intrusive linkage used by pfra::LruLists. */
+    ListHook lruHook;
+
+    // --- Policy scratch state --------------------------------------------
+    /** AutoTiering-OPM's n-bit access-history vector. */
+    std::uint8_t historyBits() const { return history_; }
+    void setHistoryBits(std::uint8_t v) { history_ = v; }
+
+    /**
+     * Shift the history left by one, inserting @p accessed, as
+     * AutoTiering-OPM does on each profiling pass.
+     */
+    void
+    shiftHistory(bool accessed)
+    {
+        history_ = static_cast<std::uint8_t>((history_ << 1) |
+                                             (accessed ? 1u : 0u));
+    }
+
+    /** Time of the most recent NUMA-hint fault (AutoTiering recency). */
+    SimTime lastHintFault() const { return lastHintFault_; }
+    void setLastHintFault(SimTime t) { lastHintFault_ = t; }
+
+    /** Hint fault seen since the last profiling pass (OPM history). */
+    bool hintFaultedSinceScan() const { return hintFaultedSinceScan_; }
+    void setHintFaultedSinceScan(bool v) { hintFaultedSinceScan_ = v; }
+
+    /** Time of the last memory-visible access (AMP-LRU selection). */
+    SimTime lastAccess() const { return lastAccess_; }
+    void setLastAccess(SimTime t) { lastAccess_ = t; }
+
+    /** Epoch of the most recent promotion (for re-access accounting). */
+    std::uint64_t promotedEpoch() const { return promotedEpoch_; }
+    void setPromotedEpoch(std::uint64_t e) { promotedEpoch_ = e; }
+
+    /** Total memory-visible accesses (stats and AMP-LFU selection). */
+    std::uint64_t accessCount() const { return accessCount_; }
+    void bumpAccessCount() { ++accessCount_; }
+    void setAccessCount(std::uint64_t c) { accessCount_ = c; }
+    void resetAccessCount() { accessCount_ = 0; }
+
+  private:
+    AddressSpace *space_;
+    PageNum vpn_;
+    NodeId node_ = kInvalidNode;
+    Paddr paddr_ = 0;
+    LruListKind list_ = LruListKind::None;
+    std::uint64_t promotedEpoch_ = 0;
+    std::uint64_t accessCount_ = 0;
+    SimTime lastHintFault_ = 0;
+    SimTime lastAccess_ = 0;
+    bool hintFaultedSinceScan_ = false;
+    std::uint8_t history_ = 0;
+    bool anon_;
+    bool referenced_ = false;
+    bool active_ = false;
+    bool promote_ = false;
+    bool dirty_ = false;
+    bool unevictable_ = false;
+    bool locked_ = false;
+    bool pteReferenced_ = false;
+    bool pteDirty_ = false;
+    bool hintPoisoned_ = false;
+};
+
+}  // namespace mclock
+
+#endif  // MCLOCK_VM_PAGE_HH_

@@ -1,0 +1,26 @@
+#include "vm/swap.hh"
+
+#include "base/logging.hh"
+
+namespace mclock {
+
+void
+SwapDevice::pageOut(Page *page)
+{
+    ++pageOuts_;
+    if (!page->isAnon())
+        return;  // file-backed pages write back to their file
+    MCLOCK_ASSERT(hasSpace());
+    slots_.insert(page);
+}
+
+void
+SwapDevice::pageIn(Page *page)
+{
+    ++pageIns_;
+    if (!page->isAnon())
+        return;
+    slots_.erase(page);
+}
+
+}  // namespace mclock

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Block-storage backend for last-resort eviction.
+ *
+ * When the lowest tier is under pressure and a page cannot be migrated
+ * further down, the PFRA writes it back to block storage: file-backed
+ * pages to their file, anonymous pages to the swap area. This model
+ * tracks occupancy and charges the device latency.
+ */
+
+#ifndef MCLOCK_VM_SWAP_HH_
+#define MCLOCK_VM_SWAP_HH_
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "base/types.hh"
+#include "vm/page.hh"
+
+namespace mclock {
+
+/** Swap area + writeback device model. */
+class SwapDevice
+{
+  public:
+    /** @param capacityPages 0 means unlimited. */
+    explicit SwapDevice(std::size_t capacityPages = 0)
+        : capacity_(capacityPages)
+    {}
+
+    /** True if another anonymous page can be swapped out. */
+    bool
+    hasSpace() const
+    {
+        return capacity_ == 0 || slots_.size() < capacity_;
+    }
+
+    /**
+     * Record that @p page's contents left memory. File-backed pages do
+     * not consume swap slots (they go back to their file).
+     */
+    void pageOut(Page *page);
+
+    /** Record that @p page's contents were read back in. */
+    void pageIn(Page *page);
+
+    std::size_t usedSlots() const { return slots_.size(); }
+    std::uint64_t pageOuts() const { return pageOuts_; }
+    std::uint64_t pageIns() const { return pageIns_; }
+
+  private:
+    std::size_t capacity_;
+    std::unordered_set<const Page *> slots_;
+    std::uint64_t pageOuts_ = 0;
+    std::uint64_t pageIns_ = 0;
+};
+
+}  // namespace mclock
+
+#endif  // MCLOCK_VM_SWAP_HH_

@@ -1,0 +1,114 @@
+#include "workloads/gapbs/bc.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/rng.hh"
+#include "sim/simulator.hh"
+#include "workloads/instrumented_array.hh"
+
+namespace mclock {
+namespace workloads {
+namespace gapbs {
+
+BcResult
+betweenness(sim::Simulator &sim, Graph &g, unsigned numSources,
+            std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<GNode> sources;
+    sources.reserve(numSources);
+    for (unsigned s = 0; s < numSources; ++s) {
+        sources.push_back(
+            static_cast<GNode>(rng.nextRange(g.numVertices())));
+    }
+    return betweennessFromSources(sim, g, sources);
+}
+
+BcResult
+betweennessFromSources(sim::Simulator &sim, Graph &g,
+                       const std::vector<GNode> &sources)
+{
+    const std::size_t n = g.numVertices();
+    InstrumentedArray<double> scores(sim, n, "bc-scores");
+    InstrumentedArray<std::int32_t> depth(sim, n, "bc-depth");
+    InstrumentedArray<double> sigma(sim, n, "bc-sigma");
+    InstrumentedArray<double> delta(sim, n, "bc-delta");
+    scores.streamInit();
+
+    BcResult result;
+    result.sources = static_cast<unsigned>(sources.size());
+
+    for (const GNode source : sources) {
+        // Forward phase: BFS recording depths and shortest-path counts.
+        for (std::size_t i = 0; i < n; ++i) {
+            depth.poke(i, -1);
+            sigma.poke(i, 0.0);
+            delta.poke(i, 0.0);
+        }
+        depth.streamInit();
+        sigma.streamInit();
+        delta.streamInit();
+        depth.set(source, 0);
+        sigma.set(source, 1.0);
+
+        std::vector<std::vector<GNode>> levels{{source}};
+        while (!levels.back().empty()) {
+            std::vector<GNode> next;
+            const auto d =
+                static_cast<std::int32_t>(levels.size() - 1);
+            for (GNode u : levels.back()) {
+                const double su = sigma.get(u);
+                const std::uint64_t begin = g.offset(u);
+                const std::uint64_t end = g.offset(u + 1);
+                for (std::uint64_t e = begin; e < end; ++e) {
+                    const GNode v = g.neighbor(e);
+                    const std::int32_t dv = depth.get(v);
+                    if (dv < 0) {
+                        depth.set(v, d + 1);
+                        sigma.set(v, su);
+                        next.push_back(v);
+                    } else if (dv == d + 1) {
+                        sigma.update(v,
+                                     [su](double x) { return x + su; });
+                    }
+                }
+            }
+            levels.push_back(std::move(next));
+        }
+
+        // Backward phase: dependency accumulation, deepest level first.
+        for (std::size_t l = levels.size(); l-- > 1;) {
+            for (GNode u : levels[l - 1]) {
+                const std::int32_t du = depth.get(u);
+                const double su = sigma.get(u);
+                double acc = 0.0;
+                const std::uint64_t begin = g.offset(u);
+                const std::uint64_t end = g.offset(u + 1);
+                for (std::uint64_t e = begin; e < end; ++e) {
+                    const GNode v = g.neighbor(e);
+                    if (depth.get(v) == du + 1) {
+                        acc += su / sigma.get(v) *
+                               (1.0 + delta.get(v));
+                    }
+                }
+                delta.set(u, acc);
+                if (u != source) {
+                    scores.update(u,
+                                  [acc](double x) { return x + acc; });
+                }
+            }
+        }
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const double sc = scores.peek(i);
+        result.scoreSum += sc;
+        result.maxScore = std::max(result.maxScore, sc);
+    }
+    return result;
+}
+
+}  // namespace gapbs
+}  // namespace workloads
+}  // namespace mclock

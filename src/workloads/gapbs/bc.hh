@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Betweenness centrality (GAPBS bc; Brandes with sampled sources).
+ */
+
+#ifndef MCLOCK_WORKLOADS_GAPBS_BC_HH_
+#define MCLOCK_WORKLOADS_GAPBS_BC_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/gapbs/graph.hh"
+
+namespace mclock {
+
+namespace sim {
+class Simulator;
+}
+
+namespace workloads {
+namespace gapbs {
+
+/** BC outcome (for verification). */
+struct BcResult
+{
+    double scoreSum = 0.0;
+    double maxScore = 0.0;
+    unsigned sources = 0;
+};
+
+/**
+ * Brandes' algorithm from @p numSources sampled sources (unweighted;
+ * scores are not normalised, as in GAPBS).
+ */
+BcResult betweenness(sim::Simulator &sim, Graph &g, unsigned numSources,
+                     std::uint64_t seed);
+
+/**
+ * Brandes from an explicit source list (deterministic; used by tests
+ * to check exact dependency accumulation against hand-computed
+ * values). Passing every vertex yields exact betweenness centrality.
+ */
+BcResult betweennessFromSources(sim::Simulator &sim, Graph &g,
+                                const std::vector<GNode> &sources);
+
+}  // namespace gapbs
+}  // namespace workloads
+}  // namespace mclock
+
+#endif  // MCLOCK_WORKLOADS_GAPBS_BC_HH_

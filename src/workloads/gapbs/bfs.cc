@@ -1,0 +1,52 @@
+#include "workloads/gapbs/bfs.hh"
+
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "workloads/instrumented_array.hh"
+
+namespace mclock {
+namespace workloads {
+namespace gapbs {
+
+BfsResult
+bfs(sim::Simulator &sim, Graph &g, GNode source)
+{
+    const std::size_t n = g.numVertices();
+    InstrumentedArray<std::int32_t> parent(sim, n, "bfs-parent");
+    for (std::size_t i = 0; i < n; ++i)
+        parent.poke(i, -1);
+    parent.streamInit();
+
+    std::vector<GNode> frontier{source};
+    parent.set(source, static_cast<std::int32_t>(source));
+
+    BfsResult result;
+    result.visited = 1;
+    std::uint64_t depth = 0;
+    std::vector<GNode> next;
+    while (!frontier.empty()) {
+        next.clear();
+        for (GNode u : frontier) {
+            const std::uint64_t begin = g.offset(u);
+            const std::uint64_t end = g.offset(u + 1);
+            for (std::uint64_t e = begin; e < end; ++e) {
+                const GNode v = g.neighbor(e);
+                if (parent.get(v) < 0) {
+                    parent.set(v, static_cast<std::int32_t>(u));
+                    next.push_back(v);
+                    ++result.visited;
+                }
+            }
+        }
+        frontier.swap(next);
+        if (!frontier.empty())
+            ++depth;
+    }
+    result.maxDepth = depth;
+    return result;
+}
+
+}  // namespace gapbs
+}  // namespace workloads
+}  // namespace mclock

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Breadth-first search (GAPBS bfs).
+ *
+ * Top-down frontier BFS producing a parent array. (GAPBS uses
+ * direction-optimizing BFS; the memory behaviour that matters for
+ * tiering — random parent-array probes against streamed CSR reads — is
+ * the same, documented in DESIGN.md.)
+ */
+
+#ifndef MCLOCK_WORKLOADS_GAPBS_BFS_HH_
+#define MCLOCK_WORKLOADS_GAPBS_BFS_HH_
+
+#include <cstdint>
+
+#include "workloads/gapbs/graph.hh"
+
+namespace mclock {
+
+namespace sim {
+class Simulator;
+}
+
+namespace workloads {
+namespace gapbs {
+
+/** BFS outcome (for verification). */
+struct BfsResult
+{
+    std::uint64_t visited = 0;  ///< vertices reached from the source
+    std::uint64_t maxDepth = 0;
+};
+
+/** Run BFS from @p source. */
+BfsResult bfs(sim::Simulator &sim, Graph &g, GNode source);
+
+}  // namespace gapbs
+}  // namespace workloads
+}  // namespace mclock
+
+#endif  // MCLOCK_WORKLOADS_GAPBS_BFS_HH_

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Edge-list to CSR builder (GAPBS BuilderBase).
+ *
+ * Construction happens host-side; the resulting arrays are then written
+ * into simulated memory in allocation order (offsets, neighbors,
+ * weights), which is the benchmark's load phase and determines which
+ * pages are born in DRAM before the tier spills over.
+ */
+
+#ifndef MCLOCK_WORKLOADS_GAPBS_BUILDER_HH_
+#define MCLOCK_WORKLOADS_GAPBS_BUILDER_HH_
+
+#include <memory>
+#include <vector>
+
+#include "workloads/gapbs/graph.hh"
+
+namespace mclock {
+
+namespace sim {
+class Simulator;
+}
+
+namespace workloads {
+namespace gapbs {
+
+/** Builder options. */
+struct BuildOptions
+{
+    /** Insert both directions of every edge (undirected semantics). */
+    bool symmetrize = true;
+    /** Drop u==v edges. */
+    bool removeSelfLoops = true;
+    /** Sort each adjacency list ascending and drop duplicates (TC). */
+    bool sortAndDedupNeighbors = false;
+    /** Relabel vertices by decreasing degree (TC's preprocessing). */
+    bool relabelByDegree = false;
+    /** Materialise the weights array. */
+    bool keepWeights = false;
+};
+
+/** Builds an instrumented CSR graph inside a simulator. */
+class Builder
+{
+  public:
+    /**
+     * Build a Graph from @p edges with @p opts, allocating its arrays in
+     * @p sim's address space and stream-initialising them.
+     */
+    static std::unique_ptr<Graph> build(sim::Simulator &sim,
+                                        std::vector<Edge> edges,
+                                        const BuildOptions &opts);
+};
+
+}  // namespace gapbs
+}  // namespace workloads
+}  // namespace mclock
+
+#endif  // MCLOCK_WORKLOADS_GAPBS_BUILDER_HH_

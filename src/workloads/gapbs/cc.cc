@@ -1,0 +1,52 @@
+#include "workloads/gapbs/cc.hh"
+
+#include <unordered_set>
+
+#include "sim/simulator.hh"
+#include "workloads/instrumented_array.hh"
+
+namespace mclock {
+namespace workloads {
+namespace gapbs {
+
+CcResult
+connectedComponents(sim::Simulator &sim, Graph &g)
+{
+    const std::size_t n = g.numVertices();
+    InstrumentedArray<GNode> comp(sim, n, "cc-labels");
+    for (std::size_t i = 0; i < n; ++i)
+        comp.poke(i, static_cast<GNode>(i));
+    comp.streamInit();
+
+    CcResult result;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        ++result.iterations;
+        for (std::size_t u = 0; u < n; ++u) {
+            const GNode cu = comp.get(u);
+            GNode best = cu;
+            const std::uint64_t begin = g.offset(static_cast<GNode>(u));
+            const std::uint64_t end = g.offset(static_cast<GNode>(u + 1));
+            for (std::uint64_t e = begin; e < end; ++e) {
+                const GNode cv = comp.get(g.neighbor(e));
+                if (cv < best)
+                    best = cv;
+            }
+            if (best < cu) {
+                comp.set(u, best);
+                changed = true;
+            }
+        }
+    }
+
+    std::unordered_set<GNode> labels;
+    for (std::size_t i = 0; i < n; ++i)
+        labels.insert(comp.peek(i));
+    result.components = labels.size();
+    return result;
+}
+
+}  // namespace gapbs
+}  // namespace workloads
+}  // namespace mclock

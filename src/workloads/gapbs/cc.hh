@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Connected components (GAPBS cc; label-propagation formulation).
+ */
+
+#ifndef MCLOCK_WORKLOADS_GAPBS_CC_HH_
+#define MCLOCK_WORKLOADS_GAPBS_CC_HH_
+
+#include <cstdint>
+
+#include "workloads/gapbs/graph.hh"
+
+namespace mclock {
+
+namespace sim {
+class Simulator;
+}
+
+namespace workloads {
+namespace gapbs {
+
+/** CC outcome (for verification). */
+struct CcResult
+{
+    std::uint64_t components = 0;
+    unsigned iterations = 0;
+};
+
+/** Label propagation to a fixed point on a symmetric graph. */
+CcResult connectedComponents(sim::Simulator &sim, Graph &g);
+
+}  // namespace gapbs
+}  // namespace workloads
+}  // namespace mclock
+
+#endif  // MCLOCK_WORKLOADS_GAPBS_CC_HH_

@@ -1,0 +1,64 @@
+#include "workloads/gapbs/generator.hh"
+
+#include "base/logging.hh"
+
+namespace mclock {
+namespace workloads {
+namespace gapbs {
+
+std::vector<Edge>
+makeKroneckerEdges(unsigned scale, unsigned degree, Rng &rng)
+{
+    MCLOCK_ASSERT(scale > 0 && scale < 31);
+    const std::size_t n = std::size_t{1} << scale;
+    const std::size_t m = n * degree;
+    std::vector<Edge> edges;
+    edges.reserve(m);
+    // Graph500 RMAT quadrant probabilities.
+    const double a = 0.57, b = 0.19, c = 0.19;
+    for (std::size_t i = 0; i < m; ++i) {
+        GNode u = 0, v = 0;
+        for (unsigned bit = 0; bit < scale; ++bit) {
+            const double r = rng.nextDouble();
+            if (r < a) {
+                // quadrant (0,0)
+            } else if (r < a + b) {
+                v |= 1u << bit;
+            } else if (r < a + b + c) {
+                u |= 1u << bit;
+            } else {
+                u |= 1u << bit;
+                v |= 1u << bit;
+            }
+        }
+        edges.push_back({u, v, 1});
+    }
+    return edges;
+}
+
+std::vector<Edge>
+makeUniformEdges(unsigned scale, unsigned degree, Rng &rng)
+{
+    MCLOCK_ASSERT(scale > 0 && scale < 31);
+    const std::size_t n = std::size_t{1} << scale;
+    const std::size_t m = n * degree;
+    std::vector<Edge> edges;
+    edges.reserve(m);
+    for (std::size_t i = 0; i < m; ++i) {
+        edges.push_back({static_cast<GNode>(rng.nextRange(n)),
+                         static_cast<GNode>(rng.nextRange(n)), 1});
+    }
+    return edges;
+}
+
+void
+assignWeights(std::vector<Edge> &edges, Weight maxWeight, Rng &rng)
+{
+    MCLOCK_ASSERT(maxWeight >= 1);
+    for (auto &e : edges)
+        e.w = static_cast<Weight>(1 + rng.nextRange(maxWeight));
+}
+
+}  // namespace gapbs
+}  // namespace workloads
+}  // namespace mclock

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Synthetic graph generators (GAPBS's -g / -u options).
+ *
+ * Kronecker (RMAT) with the Graph500 parameters A=0.57, B=0.19, C=0.19
+ * and uniform Erdos-Renyi-style generation, both producing 2^scale
+ * vertices with an average (undirected) degree.
+ */
+
+#ifndef MCLOCK_WORKLOADS_GAPBS_GENERATOR_HH_
+#define MCLOCK_WORKLOADS_GAPBS_GENERATOR_HH_
+
+#include <vector>
+
+#include "base/rng.hh"
+#include "workloads/gapbs/graph.hh"
+
+namespace mclock {
+namespace workloads {
+namespace gapbs {
+
+/** Kronecker (RMAT) edge list: 2^scale vertices, degree*2^scale edges. */
+std::vector<Edge> makeKroneckerEdges(unsigned scale, unsigned degree,
+                                     Rng &rng);
+
+/** Uniform random edge list with the same sizing. */
+std::vector<Edge> makeUniformEdges(unsigned scale, unsigned degree,
+                                   Rng &rng);
+
+/** Assign uniform random weights in [1, maxWeight] (GAPBS .wsg style). */
+void assignWeights(std::vector<Edge> &edges, Weight maxWeight, Rng &rng);
+
+}  // namespace gapbs
+}  // namespace workloads
+}  // namespace mclock
+
+#endif  // MCLOCK_WORKLOADS_GAPBS_GENERATOR_HH_

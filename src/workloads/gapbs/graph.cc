@@ -1,0 +1,2 @@
+// Graph is header-only; this translation unit anchors the module.
+#include "workloads/gapbs/graph.hh"

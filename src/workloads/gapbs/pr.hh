@@ -1,0 +1,39 @@
+/**
+ * @file
+ * PageRank (GAPBS pr, pull direction on a symmetrized graph).
+ */
+
+#ifndef MCLOCK_WORKLOADS_GAPBS_PR_HH_
+#define MCLOCK_WORKLOADS_GAPBS_PR_HH_
+
+#include <cstdint>
+
+#include "workloads/gapbs/graph.hh"
+
+namespace mclock {
+
+namespace sim {
+class Simulator;
+}
+
+namespace workloads {
+namespace gapbs {
+
+/** PageRank outcome (for verification). */
+struct PrResult
+{
+    double scoreSum = 0.0;   ///< should stay ~1.0
+    double maxScore = 0.0;
+    unsigned iterations = 0;
+};
+
+/**
+ * Run @p iterations of pull-based PageRank with damping 0.85.
+ */
+PrResult pagerank(sim::Simulator &sim, Graph &g, unsigned iterations);
+
+}  // namespace gapbs
+}  // namespace workloads
+}  // namespace mclock
+
+#endif  // MCLOCK_WORKLOADS_GAPBS_PR_HH_

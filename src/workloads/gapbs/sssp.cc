@@ -1,0 +1,82 @@
+#include "workloads/gapbs/sssp.hh"
+
+#include <limits>
+#include <vector>
+
+#include "base/logging.hh"
+#include "sim/simulator.hh"
+#include "workloads/instrumented_array.hh"
+
+namespace mclock {
+namespace workloads {
+namespace gapbs {
+
+SsspResult
+sssp(sim::Simulator &sim, Graph &g, GNode source, std::uint32_t delta)
+{
+    MCLOCK_ASSERT(g.weighted());
+    constexpr std::uint32_t kInf =
+        std::numeric_limits<std::uint32_t>::max();
+    if (delta == 0)
+        delta = 16;
+
+    const std::size_t n = g.numVertices();
+    InstrumentedArray<std::uint32_t> dist(sim, n, "sssp-dist");
+    for (std::size_t i = 0; i < n; ++i)
+        dist.poke(i, kInf);
+    dist.streamInit();
+    dist.set(source, 0);
+
+    // Host-side delta-stepping buckets.
+    std::vector<std::vector<GNode>> buckets;
+    auto bucketOf = [delta](std::uint32_t d) {
+        return static_cast<std::size_t>(d / delta);
+    };
+    auto push = [&](GNode v, std::uint32_t d) {
+        const std::size_t b = bucketOf(d);
+        if (buckets.size() <= b)
+            buckets.resize(b + 1);
+        buckets[b].push_back(v);
+    };
+    push(source, 0);
+
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+        // Reprocess the bucket until it stops growing (light-edge
+        // re-insertions land back in the current bucket).
+        while (!buckets[b].empty()) {
+            std::vector<GNode> frontier;
+            frontier.swap(buckets[b]);
+            for (GNode u : frontier) {
+                const std::uint32_t du = dist.get(u);
+                if (bucketOf(du) != b)
+                    continue;  // stale entry; u settled earlier
+                const std::uint64_t begin = g.offset(u);
+                const std::uint64_t end = g.offset(u + 1);
+                for (std::uint64_t e = begin; e < end; ++e) {
+                    const GNode v = g.neighbor(e);
+                    const Weight w = g.weight(e);
+                    const std::uint32_t cand = du + w;
+                    const std::uint32_t dv = dist.get(v);
+                    if (cand < dv) {
+                        dist.set(v, cand);
+                        push(v, cand);
+                    }
+                }
+            }
+        }
+    }
+
+    SsspResult result;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t d = dist.peek(i);
+        if (d != kInf) {
+            ++result.reached;
+            result.distanceSum += d;
+        }
+    }
+    return result;
+}
+
+}  // namespace gapbs
+}  // namespace workloads
+}  // namespace mclock

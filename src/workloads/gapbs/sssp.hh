@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Single-source shortest paths (GAPBS sssp, delta-stepping).
+ */
+
+#ifndef MCLOCK_WORKLOADS_GAPBS_SSSP_HH_
+#define MCLOCK_WORKLOADS_GAPBS_SSSP_HH_
+
+#include <cstdint>
+
+#include "workloads/gapbs/graph.hh"
+
+namespace mclock {
+
+namespace sim {
+class Simulator;
+}
+
+namespace workloads {
+namespace gapbs {
+
+/** SSSP outcome (for verification). */
+struct SsspResult
+{
+    std::uint64_t reached = 0;       ///< vertices with finite distance
+    std::uint64_t distanceSum = 0;   ///< sum of finite distances
+};
+
+/**
+ * Delta-stepping SSSP from @p source on a weighted graph.
+ * @param delta bucket width (GAPBS default: tuned per graph; pass 0 to
+ *              use a heuristic of maxWeight/4)
+ */
+SsspResult sssp(sim::Simulator &sim, Graph &g, GNode source,
+                std::uint32_t delta = 0);
+
+}  // namespace gapbs
+}  // namespace workloads
+}  // namespace mclock
+
+#endif  // MCLOCK_WORKLOADS_GAPBS_SSSP_HH_

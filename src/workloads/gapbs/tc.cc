@@ -1,0 +1,54 @@
+#include "workloads/gapbs/tc.hh"
+
+#include "sim/simulator.hh"
+
+namespace mclock {
+namespace workloads {
+namespace gapbs {
+
+TcResult
+triangleCount(sim::Simulator &sim, Graph &g)
+{
+    (void)sim;  // all accesses flow through the graph's arrays
+    TcResult result;
+    const std::size_t n = g.numVertices();
+    for (GNode u = 0; u < n; ++u) {
+        const std::uint64_t ub = g.offset(u);
+        const std::uint64_t ue = g.offset(u + 1);
+        for (std::uint64_t e = ub; e < ue; ++e) {
+            const GNode v = g.neighbor(e);
+            if (v >= u)
+                break;  // sorted adjacency: only v < u
+            // Merge-intersect adj(u) and adj(v), counting w < v.
+            std::uint64_t itU = ub;
+            std::uint64_t itV = g.offset(v);
+            const std::uint64_t vEnd = g.offset(v + 1);
+            if (itV >= vEnd)
+                continue;
+            GNode wu = g.neighbor(itU);
+            GNode wv = g.neighbor(itV);
+            while (itU < ue && itV < vEnd) {
+                if (wu >= v || wv >= v)
+                    break;
+                if (wu < wv) {
+                    if (++itU < ue)
+                        wu = g.neighbor(itU);
+                } else if (wv < wu) {
+                    if (++itV < vEnd)
+                        wv = g.neighbor(itV);
+                } else {
+                    ++result.triangles;
+                    if (++itU < ue)
+                        wu = g.neighbor(itU);
+                    if (++itV < vEnd)
+                        wv = g.neighbor(itV);
+                }
+            }
+        }
+    }
+    return result;
+}
+
+}  // namespace gapbs
+}  // namespace workloads
+}  // namespace mclock

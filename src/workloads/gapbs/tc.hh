@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Triangle counting (GAPBS tc: degree-ordered merge intersection).
+ */
+
+#ifndef MCLOCK_WORKLOADS_GAPBS_TC_HH_
+#define MCLOCK_WORKLOADS_GAPBS_TC_HH_
+
+#include <cstdint>
+
+#include "workloads/gapbs/graph.hh"
+
+namespace mclock {
+
+namespace sim {
+class Simulator;
+}
+
+namespace workloads {
+namespace gapbs {
+
+/** TC outcome. */
+struct TcResult
+{
+    std::uint64_t triangles = 0;
+};
+
+/**
+ * Count triangles on a graph built with sortAndDedupNeighbors (and
+ * ideally relabelByDegree). Counts each triangle once using the
+ * u < v < w ordering.
+ */
+TcResult triangleCount(sim::Simulator &sim, Graph &g);
+
+}  // namespace gapbs
+}  // namespace workloads
+}  // namespace mclock
+
+#endif  // MCLOCK_WORKLOADS_GAPBS_TC_HH_

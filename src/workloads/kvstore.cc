@@ -1,0 +1,114 @@
+#include "workloads/kvstore.hh"
+
+#include "base/logging.hh"
+#include "sim/simulator.hh"
+#include "workloads/zipf.hh"
+
+namespace mclock {
+namespace workloads {
+
+KvStore::KvStore(sim::Simulator &sim, KvStoreConfig cfg)
+    : sim_(sim), cfg_(cfg)
+{
+    const std::size_t bytes = cfg_.hashBuckets * sizeof(std::uint64_t);
+    buckets_ = sim_.mmap(bytes, /*anon=*/true, "kv-hashtable");
+    footprint_ += bytes;
+}
+
+void
+KvStore::touchBucket(std::uint64_t key, bool write)
+{
+    const std::uint64_t h = fnv1a64(key) % cfg_.hashBuckets;
+    const Vaddr addr = buckets_ + h * sizeof(std::uint64_t);
+    if (write)
+        sim_.write(addr, sizeof(std::uint64_t));
+    else
+        sim_.read(addr, sizeof(std::uint64_t));
+}
+
+Vaddr
+KvStore::allocItem(std::size_t bytes)
+{
+    // Single size-class recycling, like a memcached slab class: all
+    // items in one run have the same value size.
+    if (!freeSlots_.empty() && freeSlotBytes_ >= bytes) {
+        const Vaddr addr = freeSlots_.back();
+        freeSlots_.pop_back();
+        return addr;
+    }
+    if (chunkRemaining_ < bytes) {
+        const std::size_t chunk =
+            std::max(cfg_.slabChunkBytes, bytes);
+        chunkCursor_ = sim_.mmap(chunk, /*anon=*/true, "kv-slab");
+        chunkRemaining_ = chunk;
+        footprint_ += chunk;
+    }
+    const Vaddr addr = chunkCursor_;
+    chunkCursor_ += bytes;
+    chunkRemaining_ -= bytes;
+    return addr;
+}
+
+void
+KvStore::put(std::uint64_t key, std::size_t valueBytes)
+{
+    sim_.compute(cfg_.cpuPerOp);
+    touchBucket(key, /*write=*/false);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        // Overwrite in place: read header, write value.
+        sim_.read(it->second.addr, cfg_.itemHeaderBytes);
+        sim_.write(it->second.addr + cfg_.itemHeaderBytes, valueBytes);
+        return;
+    }
+    const std::size_t bytes = cfg_.itemHeaderBytes + valueBytes;
+    const Vaddr addr = allocItem(bytes);
+    freeSlotBytes_ = std::max(freeSlotBytes_, bytes);
+    touchBucket(key, /*write=*/true);  // link into the chain
+    sim_.write(addr, bytes);           // write header + value
+    index_.emplace(key, Item{addr, bytes});
+}
+
+bool
+KvStore::get(std::uint64_t key)
+{
+    sim_.compute(cfg_.cpuPerOp);
+    touchBucket(key, /*write=*/false);
+    auto it = index_.find(key);
+    if (it == index_.end())
+        return false;
+    // Read header (key comparison) then the value.
+    sim_.read(it->second.addr, it->second.bytes);
+    return true;
+}
+
+bool
+KvStore::readModifyWrite(std::uint64_t key)
+{
+    sim_.compute(cfg_.cpuPerOp);
+    touchBucket(key, /*write=*/false);
+    auto it = index_.find(key);
+    if (it == index_.end())
+        return false;
+    sim_.read(it->second.addr, it->second.bytes);
+    sim_.write(it->second.addr + cfg_.itemHeaderBytes,
+               it->second.bytes - cfg_.itemHeaderBytes);
+    return true;
+}
+
+bool
+KvStore::remove(std::uint64_t key)
+{
+    sim_.compute(cfg_.cpuPerOp);
+    touchBucket(key, /*write=*/true);
+    auto it = index_.find(key);
+    if (it == index_.end())
+        return false;
+    sim_.write(it->second.addr, cfg_.itemHeaderBytes);  // unlink
+    freeSlots_.push_back(it->second.addr);
+    index_.erase(it);
+    return true;
+}
+
+}  // namespace workloads
+}  // namespace mclock

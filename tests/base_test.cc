@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Unit tests for the base module: RNG, intrusive list, stats, CSV.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "base/csv.hh"
+#include "base/intrusive_list.hh"
+#include "base/rng.hh"
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "base/units.hh"
+
+namespace mclock {
+namespace {
+
+// --- Types / units ---------------------------------------------------------
+
+TEST(TypesTest, PageArithmetic)
+{
+    EXPECT_EQ(kPageSize, 4096u);
+    EXPECT_EQ(pageNumOf(0), 0u);
+    EXPECT_EQ(pageNumOf(4095), 0u);
+    EXPECT_EQ(pageNumOf(4096), 1u);
+    EXPECT_EQ(pageBaseOf(4097), 4096u);
+    EXPECT_EQ(pageBaseOf(8191), 4096u);
+}
+
+TEST(UnitsTest, SizeLiterals)
+{
+    EXPECT_EQ(1_KiB, 1024u);
+    EXPECT_EQ(2_MiB, 2u * 1024 * 1024);
+    EXPECT_EQ(1_GiB, 1024u * 1024 * 1024);
+}
+
+TEST(UnitsTest, TimeLiterals)
+{
+    EXPECT_EQ(1_us, 1000u);
+    EXPECT_EQ(1_ms, 1000000u);
+    EXPECT_EQ(2_s, 2000000000u);
+}
+
+TEST(TypesTest, TierNames)
+{
+    EXPECT_STREQ(tierName(TierKind::Dram), "DRAM");
+    EXPECT_STREQ(tierName(TierKind::Pmem), "PMEM");
+}
+
+// --- Rng ------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next64() == b.next64())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, RangeIsBounded)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextRange(17), 17u);
+}
+
+TEST(RngTest, RangeCoversAllValues)
+{
+    Rng rng(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.nextRange(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, DoubleInUnitInterval)
+{
+    Rng rng(9);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(RngTest, BernoulliFrequency)
+{
+    Rng rng(11);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        if (rng.nextBool(0.3))
+            ++hits;
+    }
+    const double rate = static_cast<double>(hits) / n;
+    EXPECT_NEAR(rate, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkIsIndependent)
+{
+    Rng a(5);
+    Rng child = a.fork();
+    // The child stream must not equal the parent's continuation.
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next64() == child.next64())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+// --- Intrusive list --------------------------------------------------------
+
+struct ListItem
+{
+    int value = 0;
+    ListHook hook;
+};
+
+using ItemList = IntrusiveList<ListItem, &ListItem::hook>;
+
+TEST(IntrusiveListTest, StartsEmpty)
+{
+    ItemList list;
+    EXPECT_TRUE(list.empty());
+    EXPECT_EQ(list.size(), 0u);
+    EXPECT_EQ(list.front(), nullptr);
+    EXPECT_EQ(list.back(), nullptr);
+    EXPECT_EQ(list.popFront(), nullptr);
+}
+
+TEST(IntrusiveListTest, PushFrontOrdering)
+{
+    ItemList list;
+    ListItem a{1}, b{2}, c{3};
+    list.pushFront(&a);
+    list.pushFront(&b);
+    list.pushFront(&c);
+    EXPECT_EQ(list.size(), 3u);
+    EXPECT_EQ(list.front(), &c);
+    EXPECT_EQ(list.back(), &a);
+}
+
+TEST(IntrusiveListTest, PushBackOrdering)
+{
+    ItemList list;
+    ListItem a{1}, b{2};
+    list.pushBack(&a);
+    list.pushBack(&b);
+    EXPECT_EQ(list.front(), &a);
+    EXPECT_EQ(list.back(), &b);
+}
+
+TEST(IntrusiveListTest, EraseMiddle)
+{
+    ItemList list;
+    ListItem a, b, c;
+    list.pushBack(&a);
+    list.pushBack(&b);
+    list.pushBack(&c);
+    list.erase(&b);
+    EXPECT_EQ(list.size(), 2u);
+    EXPECT_EQ(list.front(), &a);
+    EXPECT_EQ(list.back(), &c);
+    EXPECT_FALSE(b.hook.linked());
+}
+
+TEST(IntrusiveListTest, PopBackReturnsTail)
+{
+    ItemList list;
+    ListItem a, b;
+    list.pushBack(&a);
+    list.pushBack(&b);
+    EXPECT_EQ(list.popBack(), &b);
+    EXPECT_EQ(list.popBack(), &a);
+    EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveListTest, RotateBackToFront)
+{
+    ItemList list;
+    ListItem a, b, c;
+    list.pushBack(&a);
+    list.pushBack(&b);
+    list.pushBack(&c);
+    list.rotateBackToFront();
+    EXPECT_EQ(list.front(), &c);
+    EXPECT_EQ(list.back(), &b);
+    EXPECT_EQ(list.size(), 3u);
+}
+
+TEST(IntrusiveListTest, IterationVisitsAllInOrder)
+{
+    ItemList list;
+    ListItem items[5];
+    for (int i = 0; i < 5; ++i) {
+        items[i].value = i;
+        list.pushBack(&items[i]);
+    }
+    std::vector<int> seen;
+    for (ListItem *it : list)
+        seen.push_back(it->value);
+    EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(IntrusiveListTest, ReinsertAfterErase)
+{
+    ItemList list;
+    ListItem a;
+    list.pushBack(&a);
+    list.erase(&a);
+    list.pushFront(&a);
+    EXPECT_EQ(list.size(), 1u);
+    EXPECT_EQ(list.front(), &a);
+}
+
+// --- Summary ----------------------------------------------------------------
+
+TEST(SummaryTest, EmptyIsZero)
+{
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(SummaryTest, BasicMoments)
+{
+    Summary s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+}
+
+TEST(SummaryTest, MergeMatchesCombined)
+{
+    Summary a, b, combined;
+    for (int i = 0; i < 50; ++i) {
+        a.add(i);
+        combined.add(i);
+    }
+    for (int i = 50; i < 100; ++i) {
+        b.add(i * 2);
+        combined.add(i * 2);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), combined.variance(), 1e-6);
+}
+
+// --- Histogram ---------------------------------------------------------------
+
+TEST(HistogramTest, BucketsAndOverflow)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-1.0);
+    h.add(0.0);
+    h.add(5.5);
+    h.add(9.999);
+    h.add(10.0);
+    h.add(100.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(5), 1u);
+    EXPECT_EQ(h.bucketCount(9), 1u);
+    EXPECT_EQ(h.count(), 6u);
+}
+
+TEST(HistogramTest, QuantileApproximation)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(i + 0.5);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+    EXPECT_NEAR(h.quantile(0.9), 90.0, 2.0);
+}
+
+// --- StatRegistry -------------------------------------------------------------
+
+TEST(StatRegistryTest, IncrementAndGet)
+{
+    StatRegistry reg;
+    EXPECT_EQ(reg.get("x"), 0u);
+    reg.inc("x");
+    reg.inc("x", 4);
+    EXPECT_EQ(reg.get("x"), 5u);
+    reg.set("x", 2);
+    EXPECT_EQ(reg.get("x"), 2u);
+}
+
+TEST(StatRegistryTest, DumpSortedWithPrefix)
+{
+    StatRegistry reg;
+    reg.inc("beta", 2);
+    reg.inc("alpha", 1);
+    std::ostringstream os;
+    reg.dump(os, "p.");
+    EXPECT_EQ(os.str(), "p.alpha 1\np.beta 2\n");
+}
+
+// --- CsvWriter ----------------------------------------------------------------
+
+TEST(CsvWriterTest, PlainRow)
+{
+    CsvWriter csv;
+    csv.writeRow(std::vector<std::string>{"a", "b", "c"});
+    EXPECT_EQ(csv.str(), "a,b,c\n");
+}
+
+TEST(CsvWriterTest, EscapesSpecialCharacters)
+{
+    CsvWriter csv;
+    csv.writeRow(std::vector<std::string>{"a,b", "q\"q", "line\nbreak"});
+    EXPECT_EQ(csv.str(), "\"a,b\",\"q\"\"q\",\"line\nbreak\"\n");
+}
+
+TEST(CsvWriterTest, DoubleRowPrecision)
+{
+    CsvWriter csv;
+    csv.writeRow(std::vector<double>{1.5, 2.25}, 2);
+    EXPECT_EQ(csv.str(), "1.50,2.25\n");
+}
+
+}  // namespace
+}  // namespace mclock

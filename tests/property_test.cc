@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Property-based tests: system-wide invariants checked over random
+ * operation sequences and parameterized across every tiering policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/rng.hh"
+#include "base/units.hh"
+#include "mem/cache.hh"
+#include "policies/factory.hh"
+#include "sim/machine.hh"
+#include "sim/simulator.hh"
+#include "vm/page.hh"
+#include "workloads/zipf.hh"
+
+namespace mclock {
+namespace {
+
+/**
+ * Drive a random zipfian workload with phase shifts under a policy and
+ * then check global invariants.
+ */
+class PolicyInvariantTest
+    : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    void
+    runRandomWorkload(sim::Simulator &sim, std::uint64_t accesses,
+                      std::uint64_t seed)
+    {
+        Rng rng(seed);
+        auto &space = sim.space();
+        const std::size_t totalFrames =
+            sim.memory().tierFrames(TierKind::Dram) +
+            sim.memory().tierFrames(TierKind::Pmem);
+        // Footprint ~60% of total memory so demotion paths engage
+        // without exhausting swap-free configurations.
+        const std::size_t pages = totalFrames * 6 / 10;
+        const Vaddr base = sim.mmap(pages * kPageSize);
+        workloads::ZipfianGenerator zipf(pages, 0.9);
+        std::uint64_t phaseOffset = 0;
+        for (std::uint64_t i = 0; i < accesses; ++i) {
+            if (i % (accesses / 4 + 1) == 0) {
+                // Phase change: rotate which pages are hot.
+                phaseOffset = rng.nextRange(pages);
+            }
+            const std::uint64_t idx =
+                (zipf.next(rng) + phaseOffset) % pages;
+            const Vaddr va = base + idx * kPageSize +
+                             (rng.next64() & (kPageSize - 64));
+            if (rng.nextBool(0.3))
+                sim.write(va, 8);
+            else
+                sim.read(va, 8);
+            if (i % 64 == 0)
+                sim.compute(100_us);
+        }
+        (void)space;
+    }
+
+    /** Frame accounting must balance on every node. */
+    void
+    checkFrameConservation(sim::Simulator &sim)
+    {
+        std::vector<std::size_t> residentPerNode(
+            sim.memory().numNodes(), 0);
+        sim.space().forEachPage([&](Page *pg) {
+            if (pg->resident())
+                ++residentPerNode[static_cast<std::size_t>(pg->node())];
+        });
+        sim.memory().forEachNode([&](sim::Node &node) {
+            EXPECT_EQ(node.usedFrames(),
+                      residentPerNode[static_cast<std::size_t>(
+                          node.id())])
+                << "node " << node.id();
+        });
+    }
+
+    /** Every resident page sits on exactly one list of its own node. */
+    void
+    checkListMembership(sim::Simulator &sim)
+    {
+        std::size_t onLists = 0;
+        sim.memory().forEachNode([&](sim::Node &node) {
+            onLists += node.lists().totalPages();
+        });
+        std::size_t resident = 0;
+        sim.space().forEachPage([&](Page *pg) {
+            if (pg->resident()) {
+                ++resident;
+                EXPECT_TRUE(pg->onLru()) << "resident page off-LRU";
+            } else {
+                EXPECT_FALSE(pg->onLru());
+            }
+        });
+        EXPECT_EQ(onLists, resident);
+    }
+
+    /** List tags must match the node's list that holds the page. */
+    void
+    checkListTagsConsistent(sim::Simulator &sim)
+    {
+        sim.memory().forEachNode([&](sim::Node &node) {
+            for (int k = 1; k < kNumLruLists; ++k) {
+                const auto kind = static_cast<LruListKind>(k);
+                auto &list = node.lists().list(kind);
+                for (Page *pg : list) {
+                    EXPECT_EQ(pg->list(), kind);
+                    EXPECT_EQ(pg->node(), node.id());
+                    // Anonymity must match the list family.
+                    if (kind != LruListKind::Unevictable) {
+                        const bool anonList =
+                            kind == LruListKind::InactiveAnon ||
+                            kind == LruListKind::ActiveAnon ||
+                            kind == LruListKind::PromoteAnon;
+                        EXPECT_EQ(pg->isAnon(), anonList);
+                    }
+                }
+            }
+        });
+    }
+};
+
+TEST_P(PolicyInvariantTest, InvariantsHoldAfterRandomWorkload)
+{
+    sim::MachineConfig cfg = sim::tinyTestMachine();
+    sim::Simulator sim(cfg);
+    sim.setPolicy(policies::makePolicy(GetParam(), 1_MiB));
+    runRandomWorkload(sim, 30000, 42);
+    checkFrameConservation(sim);
+    checkListMembership(sim);
+    checkListTagsConsistent(sim);
+}
+
+TEST_P(PolicyInvariantTest, TimeIsMonotonic)
+{
+    sim::Simulator sim(sim::tinyTestMachine());
+    sim.setPolicy(policies::makePolicy(GetParam(), 1_MiB));
+    const Vaddr a = sim.mmap(64 * kPageSize);
+    Rng rng(7);
+    SimTime last = sim.now();
+    for (int i = 0; i < 5000; ++i) {
+        sim.read(a + rng.nextRange(64) * kPageSize, 8);
+        EXPECT_GE(sim.now(), last);
+        last = sim.now();
+    }
+}
+
+TEST_P(PolicyInvariantTest, DeterministicForSameSeed)
+{
+    auto runOnce = [&](std::uint64_t seed) {
+        sim::MachineConfig cfg = sim::tinyTestMachine();
+        cfg.seed = seed;
+        sim::Simulator sim(cfg);
+        sim.setPolicy(policies::makePolicy(GetParam(), 1_MiB));
+        runRandomWorkload(sim, 8000, seed);
+        return sim.now();
+    };
+    EXPECT_EQ(runOnce(9), runOnce(9));
+}
+
+TEST_P(PolicyInvariantTest, UnmapReturnsAllFrames)
+{
+    sim::Simulator sim(sim::tinyTestMachine());
+    sim.setPolicy(policies::makePolicy(GetParam(), 1_MiB));
+    std::vector<std::size_t> freeBefore;
+    sim.memory().forEachNode([&](sim::Node &n) {
+        freeBefore.push_back(n.freeFrames());
+    });
+    runRandomWorkload(sim, 15000, 3);
+    // Tear everything down; frames must return exactly.
+    std::vector<Vaddr> regions;
+    for (const auto &r : sim.space().regions())
+        regions.push_back(r.start);
+    for (Vaddr start : regions)
+        sim.unmapRegion(start);
+    std::size_t i = 0;
+    sim.memory().forEachNode([&](sim::Node &n) {
+        EXPECT_EQ(n.freeFrames(), freeBefore[i++]) << "node";
+    });
+    EXPECT_EQ(sim.space().pageCount(), 0u);
+}
+
+
+TEST_P(PolicyInvariantTest, SurvivesOvercommitWithSwap)
+{
+    // Footprint larger than DRAM+PM combined: every policy must reach
+    // block storage through its pressure path without OOM-ing, and the
+    // books must still balance afterwards.
+    sim::MachineConfig cfg = sim::tinyTestMachine();
+    cfg.swapPages = 0;  // unlimited swap
+    sim::Simulator sim(cfg);
+    sim.setPolicy(policies::makePolicy(GetParam(), 1_MiB));
+    const std::size_t total =
+        sim.memory().tierFrames(TierKind::Dram) +
+        sim.memory().tierFrames(TierKind::Pmem);
+    const std::size_t pages = total + total / 4;
+    const Vaddr base = sim.mmap(pages * kPageSize);
+    Rng rng(21);
+    // Sequential first touch, then a scattered re-touch wave.
+    for (std::size_t i = 0; i < pages; ++i)
+        sim.write(base + i * kPageSize);
+    for (int i = 0; i < 5000; ++i)
+        sim.read(base + rng.nextRange(pages) * kPageSize, 8);
+    EXPECT_GT(sim.stats().get("swap_outs"), 0u);
+    checkFrameConservation(sim);
+    checkListMembership(sim);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTieredPolicies, PolicyInvariantTest,
+    ::testing::Values("static", "multiclock", "nimble", "at-cpm",
+                      "at-opm", "autonuma", "amp-lru", "amp-lfu",
+                      "amp-random"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+// --- Zipfian distribution properties (parameterized over theta) -------------------
+
+class ZipfPropertyTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ZipfPropertyTest, RankFrequenciesDecrease)
+{
+    Rng rng(11);
+    workloads::ZipfianGenerator zipf(256, GetParam());
+    std::vector<int> counts(256, 0);
+    for (int i = 0; i < 200000; ++i)
+        ++counts[zipf.next(rng)];
+    // Compare rank buckets: head must dominate mid must dominate tail.
+    int head = 0, mid = 0, tail = 0;
+    for (int r = 0; r < 16; ++r)
+        head += counts[r];
+    for (int r = 64; r < 80; ++r)
+        mid += counts[r];
+    for (int r = 240; r < 256; ++r)
+        tail += counts[r];
+    EXPECT_GT(head, mid);
+    EXPECT_GE(mid, tail);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfPropertyTest,
+                         ::testing::Values(0.5, 0.8, 0.99));
+
+// --- LLC invariants over random access streams -------------------------------------
+
+class CacheInvariantTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CacheInvariantTest, HitsPlusMissesEqualAccesses)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 16_KiB;
+    cfg.ways = GetParam();
+    CacheModel cache(cfg);
+    Rng rng(GetParam());
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        cache.access(rng.nextRange(1 << 20), rng.nextBool(0.5));
+    EXPECT_EQ(cache.hits() + cache.misses(),
+              static_cast<std::uint64_t>(n));
+    EXPECT_LE(cache.writebacks(), cache.misses());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, CacheInvariantTest,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+}  // namespace
+}  // namespace mclock

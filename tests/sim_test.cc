@@ -1,0 +1,594 @@
+/**
+ * @file
+ * Unit tests for the sim module: nodes, memory system, migration,
+ * daemons, metrics, and the simulator core's access path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/units.hh"
+#include "policies/static_tiering.hh"
+#include "sim/daemon.hh"
+#include "sim/machine.hh"
+#include "sim/memory_system.hh"
+#include "sim/metrics.hh"
+#include "sim/migration.hh"
+#include "sim/node.hh"
+#include "sim/simulator.hh"
+#include "vm/page.hh"
+
+namespace mclock {
+namespace sim {
+namespace {
+
+// --- Node ----------------------------------------------------------------------
+
+TEST(NodeTest, FrameAllocationRoundTrip)
+{
+    Node node(0, TierKind::Dram, 4, 0x1000000);
+    EXPECT_EQ(node.freeFrames(), 4u);
+    Paddr a, b;
+    EXPECT_TRUE(node.allocFrame(a));
+    EXPECT_TRUE(node.allocFrame(b));
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a % kPageSize, 0u);
+    EXPECT_EQ(node.usedFrames(), 2u);
+    node.freeFrame(a);
+    EXPECT_EQ(node.freeFrames(), 3u);
+}
+
+TEST(NodeTest, ExhaustionFails)
+{
+    Node node(0, TierKind::Pmem, 2, 0);
+    Paddr p;
+    EXPECT_TRUE(node.allocFrame(p));
+    EXPECT_TRUE(node.allocFrame(p));
+    EXPECT_FALSE(node.allocFrame(p));
+}
+
+TEST(NodeTest, WatermarkPredicates)
+{
+    Node node(0, TierKind::Dram, 10000, 0);
+    EXPECT_FALSE(node.belowLow());
+    Paddr p;
+    while (node.freeFrames() > node.watermarks().low)
+        node.allocFrame(p);
+    EXPECT_TRUE(node.belowLow());
+    EXPECT_FALSE(node.belowMin());
+    while (node.freeFrames() > node.watermarks().min)
+        node.allocFrame(p);
+    EXPECT_TRUE(node.belowMin());
+    EXPECT_FALSE(node.aboveHigh());
+}
+
+TEST(NodeTest, PmemTag)
+{
+    Node node(3, TierKind::Pmem, 1, 0);
+    EXPECT_TRUE(node.isPmem());
+    EXPECT_EQ(node.id(), 3);
+}
+
+// --- MemorySystem ------------------------------------------------------------------
+
+TEST(MemorySystemTest, TierOrdering)
+{
+    MemorySystem mem({{TierKind::Dram, 1_MiB}, {TierKind::Pmem, 4_MiB}});
+    ASSERT_EQ(mem.tierOrder().size(), 2u);
+    EXPECT_EQ(mem.tierOrder()[0], TierKind::Dram);
+    EXPECT_EQ(mem.tierOrder()[1], TierKind::Pmem);
+    TierKind out;
+    EXPECT_TRUE(mem.higherTier(TierKind::Pmem, out));
+    EXPECT_EQ(out, TierKind::Dram);
+    EXPECT_FALSE(mem.higherTier(TierKind::Dram, out));
+    EXPECT_TRUE(mem.lowerTier(TierKind::Dram, out));
+    EXPECT_EQ(out, TierKind::Pmem);
+    EXPECT_FALSE(mem.lowerTier(TierKind::Pmem, out));
+}
+
+TEST(MemorySystemTest, PmOnlyMachine)
+{
+    MemorySystem mem({{TierKind::Pmem, 4_MiB}});
+    EXPECT_EQ(mem.tierOrder().size(), 1u);
+    EXPECT_TRUE(mem.tier(TierKind::Dram).empty());
+    TierKind out;
+    EXPECT_FALSE(mem.higherTier(TierKind::Pmem, out));
+}
+
+TEST(MemorySystemTest, MultiNodeTier)
+{
+    MemorySystem mem({{TierKind::Dram, 1_MiB},
+                      {TierKind::Dram, 1_MiB},
+                      {TierKind::Pmem, 2_MiB}});
+    EXPECT_EQ(mem.tier(TierKind::Dram).size(), 2u);
+    EXPECT_EQ(mem.tierFrames(TierKind::Dram), 2 * 256u);
+    EXPECT_EQ(mem.tierFreeFrames(TierKind::Dram), 512u);
+}
+
+TEST(MemorySystemTest, PickNodePrefersMostFree)
+{
+    MemorySystem mem({{TierKind::Dram, 1_MiB}, {TierKind::Dram, 1_MiB}});
+    Paddr p;
+    mem.node(0).allocFrame(p);
+    EXPECT_EQ(mem.pickNodeWithSpace(TierKind::Dram, false), 1);
+}
+
+TEST(MemorySystemTest, DistinctPaddrRanges)
+{
+    MemorySystem mem({{TierKind::Dram, 1_MiB}, {TierKind::Pmem, 1_MiB}});
+    Paddr a, b;
+    mem.node(0).allocFrame(a);
+    mem.node(1).allocFrame(b);
+    EXPECT_NE(a >> 40, b >> 40);  // separate 1 TiB windows
+}
+
+// --- MigrationEngine -----------------------------------------------------------------
+
+class MigrationTest : public ::testing::Test
+{
+  protected:
+    MigrationTest()
+        : mem_({{TierKind::Dram, 1_MiB}, {TierKind::Pmem, 1_MiB}}),
+          engine_(mem_, cfg_, nullptr)
+    {
+    }
+
+    Page *
+    makeResident(NodeId node, bool anon = true)
+    {
+        pages_.push_back(
+            std::make_unique<Page>(&space_, pages_.size(), anon));
+        Paddr pa;
+        EXPECT_TRUE(mem_.node(node).allocFrame(pa));
+        pages_.back()->placeOn(node, pa);
+        return pages_.back().get();
+    }
+
+    MemoryConfig cfg_;
+    MemorySystem mem_;
+    MigrationEngine engine_;
+    AddressSpace space_;
+    std::vector<std::unique_ptr<Page>> pages_;
+};
+
+TEST_F(MigrationTest, PromotionMovesFrame)
+{
+    Page *pg = makeResident(1);
+    const Paddr oldPa = pg->paddr();
+    SimTime cost = 0;
+    ASSERT_TRUE(engine_.migrate(pg, 0, cost));
+    EXPECT_EQ(pg->node(), 0);
+    EXPECT_NE(pg->paddr(), oldPa);
+    EXPECT_GT(cost, 0u);
+    EXPECT_EQ(engine_.promotions(), 1u);
+    EXPECT_EQ(engine_.demotions(), 0u);
+    // Source frame was returned to the PM node.
+    EXPECT_EQ(mem_.node(1).freeFrames(), mem_.node(1).totalFrames());
+}
+
+TEST_F(MigrationTest, DemotionCountsSeparately)
+{
+    Page *pg = makeResident(0);
+    SimTime cost = 0;
+    ASSERT_TRUE(engine_.migrate(pg, 1, cost));
+    EXPECT_EQ(engine_.demotions(), 1u);
+}
+
+TEST_F(MigrationTest, LockedPageFails)
+{
+    Page *pg = makeResident(1);
+    pg->setLocked(true);
+    SimTime cost = 0;
+    EXPECT_FALSE(engine_.migrate(pg, 0, cost));
+    EXPECT_EQ(engine_.failed(), 1u);
+    EXPECT_EQ(pg->node(), 1);
+}
+
+TEST_F(MigrationTest, FullDestinationFails)
+{
+    // Fill DRAM completely.
+    while (mem_.node(0).freeFrames() > 0)
+        makeResident(0);
+    Page *pg = makeResident(1);
+    SimTime cost = 0;
+    EXPECT_FALSE(engine_.migrate(pg, 0, cost));
+}
+
+TEST_F(MigrationTest, ExchangeSwapsPlacement)
+{
+    Page *hot = makeResident(1);
+    Page *cold = makeResident(0);
+    const Paddr hotPa = hot->paddr();
+    const Paddr coldPa = cold->paddr();
+    SimTime cost = 0;
+    ASSERT_TRUE(engine_.exchange(hot, cold, cost));
+    EXPECT_EQ(hot->node(), 0);
+    EXPECT_EQ(cold->node(), 1);
+    EXPECT_EQ(hot->paddr(), coldPa);
+    EXPECT_EQ(cold->paddr(), hotPa);
+    // Exchange is cheaper than two independent migrations.
+    const SimTime two =
+        cfg_.pageMigrationCost(TierKind::Pmem, TierKind::Dram) +
+        cfg_.pageMigrationCost(TierKind::Dram, TierKind::Pmem);
+    EXPECT_LT(cost, two);
+}
+
+TEST_F(MigrationTest, MigrationClearsPteDirty)
+{
+    Page *pg = makeResident(1);
+    pg->setPteDirty(true);
+    pg->setDirty(true);
+    SimTime cost;
+    ASSERT_TRUE(engine_.migrate(pg, 0, cost));
+    EXPECT_FALSE(pg->pteDirty());
+    EXPECT_TRUE(pg->dirty());  // logical dirtiness survives
+}
+
+// --- DaemonScheduler ----------------------------------------------------------------
+
+TEST(DaemonSchedulerTest, FiresOnSchedule)
+{
+    DaemonScheduler sched;
+    int fired = 0;
+    sched.add("d", 100, [&](SimTime) { ++fired; });
+    EXPECT_EQ(sched.nextDue(), 100u);
+    sched.runDue(99);
+    EXPECT_EQ(fired, 0);
+    sched.runDue(100);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sched.nextDue(), 200u);
+    sched.runDue(450);  // catches up: 200, 300, 400
+    EXPECT_EQ(fired, 4);
+}
+
+TEST(DaemonSchedulerTest, MultipleDaemonsInWakeOrder)
+{
+    DaemonScheduler sched;
+    std::vector<int> order;
+    sched.add("a", 100, [&](SimTime) { order.push_back(1); });
+    sched.add("b", 150, [&](SimTime) { order.push_back(2); });
+    sched.runDue(300);
+    // wakes: a@100, b@150, a@200, a@300, b@300.
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 1, 2}));
+}
+
+TEST(DaemonSchedulerTest, DisableAndInterval)
+{
+    DaemonScheduler sched;
+    int fired = 0;
+    const DaemonId id = sched.add("d", 100, [&](SimTime) { ++fired; });
+    sched.setEnabled(id, false);
+    sched.runDue(1000);
+    EXPECT_EQ(fired, 0);
+    sched.setEnabled(id, true);
+    sched.setInterval(id, 500);
+    sched.runDue(1000);
+    EXPECT_GT(fired, 0);
+    EXPECT_EQ(sched.invocations(id),
+              static_cast<std::uint64_t>(fired));
+}
+
+// --- Metrics -------------------------------------------------------------------------
+
+TEST(MetricsTest, WindowBucketing)
+{
+    Metrics metrics(20_s);
+    metrics.recordAccess(1_s, TierKind::Dram, false);
+    metrics.recordAccess(25_s, TierKind::Pmem, false);
+    metrics.recordAccess(25_s, TierKind::Pmem, true);
+    ASSERT_EQ(metrics.windows().size(), 2u);
+    EXPECT_EQ(metrics.windows()[0].dramAccesses, 1u);
+    EXPECT_EQ(metrics.windows()[1].pmemAccesses, 1u);
+    EXPECT_EQ(metrics.windows()[1].llcHits, 1u);
+    EXPECT_EQ(metrics.totalAccesses(), 3u);
+}
+
+TEST(MetricsTest, ReaccessWithinNextRoundCounts)
+{
+    AddressSpace space;
+    Page pg(&space, 0, true);
+    Metrics metrics(20_s);
+    metrics.beginPromotionRound();
+    metrics.recordPromotion(1_s, &pg);
+    metrics.maybeRecordReaccess(2_s, &pg);
+    EXPECT_EQ(metrics.totalReaccessed(), 1u);
+    // Counted once only.
+    metrics.maybeRecordReaccess(3_s, &pg);
+    EXPECT_EQ(metrics.totalReaccessed(), 1u);
+}
+
+TEST(MetricsTest, ReaccessTooLateDoesNotCount)
+{
+    AddressSpace space;
+    Page pg(&space, 0, true);
+    Metrics metrics(20_s);
+    metrics.recordPromotion(1_s, &pg);
+    metrics.beginPromotionRound();
+    metrics.beginPromotionRound();  // two rounds later
+    metrics.maybeRecordReaccess(5_s, &pg);
+    EXPECT_EQ(metrics.totalReaccessed(), 0u);
+}
+
+TEST(MetricsTest, ReaccessPercent)
+{
+    AddressSpace space;
+    Page a(&space, 0, true), b(&space, 1, true);
+    Metrics metrics(20_s);
+    metrics.recordPromotion(1_s, &a);
+    metrics.recordPromotion(1_s, &b);
+    metrics.maybeRecordReaccess(2_s, &a);
+    EXPECT_DOUBLE_EQ(metrics.windows()[0].reaccessPercent(), 50.0);
+}
+
+// --- Simulator access path -------------------------------------------------------------
+
+std::unique_ptr<Simulator>
+makeSim(MachineConfig cfg = tinyTestMachine())
+{
+    auto sim = std::make_unique<Simulator>(cfg);
+    sim->setPolicy(std::make_unique<policies::StaticTieringPolicy>());
+    return sim;
+}
+
+TEST(SimulatorTest, FirstTouchFaultsAndPlaces)
+{
+    auto sim = makeSim();
+    const Vaddr a = sim->mmap(4 * kPageSize);
+    sim->read(a);
+    EXPECT_EQ(sim->stats().get("minor_faults"), 1u);
+    Page *pg = sim->space().lookup(pageNumOf(a));
+    ASSERT_NE(pg, nullptr);
+    EXPECT_TRUE(pg->resident());
+    // Born in the highest tier (DRAM has space).
+    EXPECT_EQ(sim->pageTier(pg), TierKind::Dram);
+    // On an LRU list (inactive head).
+    EXPECT_EQ(pg->list(), LruListKind::InactiveAnon);
+}
+
+TEST(SimulatorTest, FaultCostCharged)
+{
+    auto sim = makeSim();
+    const Vaddr a = sim->mmap(kPageSize);
+    const SimTime before = sim->now();
+    sim->read(a);
+    EXPECT_GE(sim->now() - before,
+              sim->memConfig().minorFaultLatency);
+}
+
+TEST(SimulatorTest, LlcMissSetsPteBitsHitDoesNot)
+{
+    auto sim = makeSim();
+    const Vaddr a = sim->mmap(kPageSize);
+    sim->read(a);  // fault + miss
+    Page *pg = sim->space().lookup(pageNumOf(a));
+    EXPECT_TRUE(pg->pteReferenced());
+    pg->setPteReferenced(false);
+    sim->read(a);  // LLC hit now
+    EXPECT_FALSE(pg->pteReferenced());
+}
+
+TEST(SimulatorTest, StoreSetsDirty)
+{
+    auto sim = makeSim();
+    const Vaddr a = sim->mmap(kPageSize);
+    sim->write(a);
+    Page *pg = sim->space().lookup(pageNumOf(a));
+    EXPECT_TRUE(pg->dirty());
+    EXPECT_TRUE(pg->pteDirty());
+}
+
+TEST(SimulatorTest, SpillsToPmemWhenDramFills)
+{
+    auto sim = makeSim();
+    const std::size_t dramFrames =
+        sim->memory().node(0).totalFrames();
+    const Vaddr a = sim->mmap((dramFrames + 16) * kPageSize);
+    for (std::size_t i = 0; i < dramFrames + 16; ++i)
+        sim->write(a + i * kPageSize);
+    // Everything resident; the overflow went to PM.
+    std::size_t pmPages = 0;
+    sim->space().forEachPage([&](Page *pg) {
+        if (sim->pageTier(pg) == TierKind::Pmem)
+            ++pmPages;
+    });
+    EXPECT_GT(pmPages, 0u);
+}
+
+TEST(SimulatorTest, PmemAccessSlowerThanDram)
+{
+    MachineConfig cfg = tinyTestMachine();
+    cfg.cache.enabled = false;  // measure raw tier latency
+    auto sim = makeSim(cfg);
+    const std::size_t dramFrames = sim->memory().node(0).totalFrames();
+    const Vaddr a = sim->mmap((dramFrames + 8) * kPageSize);
+    for (std::size_t i = 0; i < dramFrames + 8; ++i)
+        sim->write(a + i * kPageSize);
+    Page *dramPage = nullptr;
+    Page *pmemPage = nullptr;
+    sim->space().forEachPage([&](Page *pg) {
+        if (sim->pageTier(pg) == TierKind::Dram)
+            dramPage = pg;
+        else
+            pmemPage = pg;
+    });
+    ASSERT_NE(dramPage, nullptr);
+    ASSERT_NE(pmemPage, nullptr);
+    SimTime t0 = sim->now();
+    sim->read(dramPage->vaddr());
+    const SimTime dramLat = sim->now() - t0;
+    t0 = sim->now();
+    sim->read(pmemPage->vaddr());
+    const SimTime pmemLat = sim->now() - t0;
+    EXPECT_EQ(dramLat, sim->memConfig().dram.loadLatency);
+    EXPECT_EQ(pmemLat, sim->memConfig().pmem.loadLatency);
+}
+
+TEST(SimulatorTest, ComputeAdvancesClockAndRunsDaemons)
+{
+    auto sim = makeSim();
+    int fired = 0;
+    sim->daemons().add("t", 1_ms, [&](SimTime) { ++fired; });
+    sim->compute(10_ms);
+    EXPECT_EQ(sim->now(), 10_ms);
+    EXPECT_EQ(fired, 10);
+}
+
+TEST(SimulatorTest, BackgroundChargeUsesInterference)
+{
+    auto sim = makeSim();
+    const SimTime before = sim->now();
+    sim->chargeBackground(1000);
+    EXPECT_EQ(sim->now() - before,
+              static_cast<SimTime>(
+                  1000 * sim->memConfig().backgroundInterference));
+    EXPECT_EQ(sim->stats().get("background_work_ns"), 1000u);
+}
+
+TEST(SimulatorTest, UnmapFreesFramesAndPages)
+{
+    auto sim = makeSim();
+    const Vaddr a = sim->mmap(8 * kPageSize);
+    for (int i = 0; i < 8; ++i)
+        sim->write(a + static_cast<Vaddr>(i) * kPageSize);
+    const std::size_t freeBefore = sim->memory().node(0).freeFrames();
+    sim->unmapRegion(a);
+    EXPECT_EQ(sim->space().pageCount(), 0u);
+    EXPECT_EQ(sim->memory().node(0).freeFrames(), freeBefore + 8);
+}
+
+TEST(SimulatorTest, EvictionAndSwapIn)
+{
+    auto sim = makeSim();
+    const Vaddr a = sim->mmap(kPageSize);
+    sim->write(a);
+    Page *pg = sim->space().lookup(pageNumOf(a));
+    // Isolate and evict by hand.
+    sim->policy().onPageFreed(pg);
+    sim->evictPage(pg);
+    EXPECT_FALSE(pg->resident());
+    EXPECT_EQ(sim->stats().get("swap_outs"), 1u);
+    // Touching it swaps back in.
+    sim->read(a);
+    EXPECT_TRUE(pg->resident());
+    EXPECT_EQ(sim->stats().get("swap_ins"), 1u);
+    EXPECT_EQ(sim->swap().usedSlots(), 0u);
+}
+
+TEST(SimulatorTest, MultiPageAccessTouchesEveryPage)
+{
+    auto sim = makeSim();
+    const Vaddr a = sim->mmap(4 * kPageSize);
+    sim->read(a, 3 * kPageSize);
+    EXPECT_EQ(sim->stats().get("minor_faults"), 3u);
+}
+
+TEST(SimulatorTest, PromoteAndDemoteHelpers)
+{
+    auto sim = makeSim();
+    const Vaddr a = sim->mmap(kPageSize);
+    sim->write(a);
+    Page *pg = sim->space().lookup(pageNumOf(a));
+    sim->policy().onPageFreed(pg);  // isolate
+    ASSERT_TRUE(sim->demotePage(pg, Simulator::ChargeMode::Background));
+    EXPECT_EQ(sim->pageTier(pg), TierKind::Pmem);
+    EXPECT_EQ(sim->metrics().totalDemotions(), 1u);
+    ASSERT_TRUE(sim->promotePage(pg, Simulator::ChargeMode::Background));
+    EXPECT_EQ(sim->pageTier(pg), TierKind::Dram);
+    EXPECT_EQ(sim->metrics().totalPromotions(), 1u);
+}
+
+
+TEST(SimulatorTest, FaultPathMigrationChargesMultiplier)
+{
+    sim::MachineConfig cfg = tinyTestMachine();
+    auto sim = makeSim(cfg);
+    const Vaddr a = sim->mmap(kPageSize);
+    sim->write(a);
+    Page *pg = sim->space().lookup(pageNumOf(a));
+    sim->policy().onPageFreed(pg);
+    const SimTime base =
+        cfg.mem.pageMigrationCost(TierKind::Dram, TierKind::Pmem);
+    const SimTime before = sim->now();
+    ASSERT_TRUE(sim->demotePage(pg, Simulator::ChargeMode::FaultPath));
+    const SimTime charged = sim->now() - before;
+    EXPECT_EQ(charged,
+              static_cast<SimTime>(
+                  cfg.mem.faultPathMigrationMultiplier *
+                  static_cast<double>(base)));
+}
+
+TEST(SimulatorTest, BackgroundMigrationChargesFixedPortionInline)
+{
+    sim::MachineConfig cfg = tinyTestMachine();
+    auto sim = makeSim(cfg);
+    const Vaddr a = sim->mmap(kPageSize);
+    sim->write(a);
+    Page *pg = sim->space().lookup(pageNumOf(a));
+    sim->policy().onPageFreed(pg);
+    const SimTime base =
+        cfg.mem.pageMigrationCost(TierKind::Dram, TierKind::Pmem);
+    const SimTime before = sim->now();
+    const auto inlineBefore = sim->stats().get("inline_overhead_ns");
+    ASSERT_TRUE(sim->demotePage(pg, Simulator::ChargeMode::Background));
+    const SimTime charged = sim->now() - before;
+    // Inline part: the TLB-shootdown fixed cost. Background part: the
+    // copy, scaled by the interference factor.
+    const SimTime expected =
+        cfg.mem.migrationFixedCost +
+        static_cast<SimTime>((base - cfg.mem.migrationFixedCost) *
+                             cfg.mem.backgroundInterference);
+    EXPECT_EQ(charged, expected);
+    EXPECT_EQ(sim->stats().get("inline_overhead_ns") - inlineBefore,
+              cfg.mem.migrationFixedCost);
+}
+
+TEST(SimulatorTest, MetricsWindowIsConfigurable)
+{
+    sim::MachineConfig cfg = tinyTestMachine();
+    cfg.metricsWindow = 5_ms;
+    auto sim = makeSim(cfg);
+    EXPECT_EQ(sim->metrics().windowLength(), 5_ms);
+    const Vaddr a = sim->mmap(kPageSize);
+    sim->compute(12_ms);
+    sim->read(a);
+    EXPECT_EQ(sim->metrics().windows().size(), 3u);  // window idx 2
+}
+
+TEST(SimulatorTest, LargeAccessSamplesEvery512Bytes)
+{
+    sim::MachineConfig cfg = tinyTestMachine();
+    cfg.cache.enabled = false;
+    auto sim = makeSim(cfg);
+    const Vaddr a = sim->mmap(kPageSize);
+    sim->write(a);  // pre-fault
+    const auto before = sim->metrics().totalAccesses();
+    sim->read(a, 2048);
+    EXPECT_EQ(sim->metrics().totalAccesses() - before, 4u);
+    sim->read(a, 8);
+    EXPECT_EQ(sim->metrics().totalAccesses() - before, 5u);
+}
+
+TEST(SimulatorTest, TwoSocketMachineAllocatesAcrossNodes)
+{
+    sim::MachineConfig cfg;
+    cfg.nodes = {{TierKind::Dram, 1_MiB},
+                 {TierKind::Dram, 1_MiB},
+                 {TierKind::Pmem, 4_MiB},
+                 {TierKind::Pmem, 4_MiB}};
+    cfg.cache.enabled = false;
+    auto sim = makeSim(cfg);
+    // Touch more than both DRAM nodes hold: both fill, then PM.
+    const Vaddr a = sim->mmap(1024 * kPageSize);
+    for (int i = 0; i < 1024; ++i)
+        sim->write(a + static_cast<Vaddr>(i) * kPageSize);
+    std::size_t perNode[4] = {0, 0, 0, 0};
+    sim->space().forEachPage([&](Page *pg) {
+        ++perNode[static_cast<std::size_t>(pg->node())];
+    });
+    EXPECT_GT(perNode[0], 0u);
+    EXPECT_GT(perNode[1], 0u);
+    EXPECT_GT(perNode[2] + perNode[3], 0u);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace mclock

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Unit tests for the vm module: pages, address spaces, swap.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/address_space.hh"
+#include "vm/page.hh"
+#include "vm/swap.hh"
+
+namespace mclock {
+namespace {
+
+// --- Page --------------------------------------------------------------------
+
+TEST(PageTest, InitialState)
+{
+    AddressSpace space;
+    Page pg(&space, 12, /*anon=*/true);
+    EXPECT_EQ(pg.vpn(), 12u);
+    EXPECT_EQ(pg.vaddr(), 12u * kPageSize);
+    EXPECT_TRUE(pg.isAnon());
+    EXPECT_FALSE(pg.resident());
+    EXPECT_FALSE(pg.referenced());
+    EXPECT_FALSE(pg.active());
+    EXPECT_FALSE(pg.promoteFlag());
+    EXPECT_FALSE(pg.dirty());
+    EXPECT_FALSE(pg.pteReferenced());
+    EXPECT_EQ(pg.list(), LruListKind::None);
+    EXPECT_FALSE(pg.onLru());
+}
+
+TEST(PageTest, PlacementRoundTrip)
+{
+    AddressSpace space;
+    Page pg(&space, 0, true);
+    pg.placeOn(2, 0x5000);
+    EXPECT_TRUE(pg.resident());
+    EXPECT_EQ(pg.node(), 2);
+    EXPECT_EQ(pg.paddr(), 0x5000u);
+    pg.unplace();
+    EXPECT_FALSE(pg.resident());
+}
+
+TEST(PageTest, TestAndClearPteReferenced)
+{
+    AddressSpace space;
+    Page pg(&space, 0, true);
+    EXPECT_FALSE(pg.testAndClearPteReferenced());
+    pg.setPteReferenced(true);
+    EXPECT_TRUE(pg.testAndClearPteReferenced());
+    EXPECT_FALSE(pg.pteReferenced());
+    EXPECT_FALSE(pg.testAndClearPteReferenced());
+}
+
+TEST(PageTest, HistoryShifting)
+{
+    AddressSpace space;
+    Page pg(&space, 0, true);
+    pg.shiftHistory(true);
+    pg.shiftHistory(false);
+    pg.shiftHistory(true);
+    EXPECT_EQ(pg.historyBits(), 0b101);
+    for (int i = 0; i < 8; ++i)
+        pg.shiftHistory(false);
+    EXPECT_EQ(pg.historyBits(), 0);
+}
+
+TEST(PageTest, ListKindPredicates)
+{
+    EXPECT_TRUE(isPromoteList(LruListKind::PromoteAnon));
+    EXPECT_TRUE(isPromoteList(LruListKind::PromoteFile));
+    EXPECT_FALSE(isPromoteList(LruListKind::ActiveAnon));
+    EXPECT_TRUE(isActiveList(LruListKind::ActiveFile));
+    EXPECT_TRUE(isInactiveList(LruListKind::InactiveAnon));
+    EXPECT_FALSE(isInactiveList(LruListKind::Unevictable));
+}
+
+TEST(PageTest, ListNames)
+{
+    EXPECT_STREQ(lruListName(LruListKind::PromoteAnon), "promote_anon");
+    EXPECT_STREQ(lruListName(LruListKind::InactiveFile),
+                 "inactive_file");
+    EXPECT_STREQ(lruListName(LruListKind::None), "none");
+}
+
+// --- AddressSpace ---------------------------------------------------------------
+
+TEST(AddressSpaceTest, MmapRoundsToPages)
+{
+    AddressSpace space;
+    const Vaddr a = space.mmap(1);
+    const Vaddr b = space.mmap(kPageSize + 1);
+    EXPECT_EQ(a % kPageSize, 0u);
+    EXPECT_EQ(b, a + kPageSize);  // first region occupied one page
+    EXPECT_EQ(space.regions().size(), 2u);
+    EXPECT_EQ(space.regions()[1].bytes, 2 * kPageSize);
+}
+
+TEST(AddressSpaceTest, RegionLookup)
+{
+    AddressSpace space;
+    const Vaddr a = space.mmap(4 * kPageSize, /*anon=*/true, "heap");
+    const Region *r = space.regionOf(a + 3 * kPageSize);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->name, "heap");
+    EXPECT_EQ(space.regionOf(a + 4 * kPageSize), nullptr);
+}
+
+TEST(AddressSpaceTest, LazyPageCreation)
+{
+    AddressSpace space;
+    const Vaddr a = space.mmap(2 * kPageSize, /*anon=*/false, "file");
+    const PageNum vpn = pageNumOf(a);
+    EXPECT_EQ(space.lookup(vpn), nullptr);
+    Page *pg = space.createPage(vpn);
+    ASSERT_NE(pg, nullptr);
+    EXPECT_EQ(space.lookup(vpn), pg);
+    EXPECT_FALSE(pg->isAnon());  // inherits the region's file backing
+    EXPECT_EQ(space.pageCount(), 1u);
+}
+
+TEST(AddressSpaceTest, DestroyPage)
+{
+    AddressSpace space;
+    const Vaddr a = space.mmap(kPageSize);
+    Page *pg = space.createPage(pageNumOf(a));
+    ASSERT_NE(pg, nullptr);
+    space.destroyPage(pageNumOf(a));
+    EXPECT_EQ(space.lookup(pageNumOf(a)), nullptr);
+    EXPECT_EQ(space.pageCount(), 0u);
+}
+
+TEST(AddressSpaceTest, MunmapForgetsRegion)
+{
+    AddressSpace space;
+    const Vaddr a = space.mmap(kPageSize, true, "tmp");
+    space.munmap(a);
+    EXPECT_EQ(space.regionOf(a), nullptr);
+}
+
+TEST(AddressSpaceTest, ForEachPageVisitsLivePages)
+{
+    AddressSpace space;
+    const Vaddr a = space.mmap(8 * kPageSize);
+    space.createPage(pageNumOf(a));
+    space.createPage(pageNumOf(a) + 3);
+    int count = 0;
+    space.forEachPage([&](Page *) { ++count; });
+    EXPECT_EQ(count, 2);
+}
+
+// --- SwapDevice ---------------------------------------------------------------
+
+TEST(SwapDeviceTest, AnonConsumesSlots)
+{
+    AddressSpace space;
+    SwapDevice swap(2);
+    Page a(&space, 0, /*anon=*/true);
+    Page b(&space, 1, /*anon=*/true);
+    EXPECT_TRUE(swap.hasSpace());
+    swap.pageOut(&a);
+    swap.pageOut(&b);
+    EXPECT_FALSE(swap.hasSpace());
+    EXPECT_EQ(swap.usedSlots(), 2u);
+    swap.pageIn(&a);
+    EXPECT_TRUE(swap.hasSpace());
+    EXPECT_EQ(swap.pageIns(), 1u);
+}
+
+TEST(SwapDeviceTest, FilePagesDontConsumeSlots)
+{
+    AddressSpace space;
+    SwapDevice swap(1);
+    Page f(&space, 0, /*anon=*/false);
+    swap.pageOut(&f);
+    EXPECT_EQ(swap.usedSlots(), 0u);
+    EXPECT_TRUE(swap.hasSpace());
+    EXPECT_EQ(swap.pageOuts(), 1u);
+}
+
+TEST(SwapDeviceTest, UnlimitedCapacity)
+{
+    AddressSpace space;
+    SwapDevice swap(0);
+    Page a(&space, 0, true);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(swap.hasSpace());
+    swap.pageOut(&a);
+    EXPECT_TRUE(swap.hasSpace());
+}
+
+}  // namespace
+}  // namespace mclock
