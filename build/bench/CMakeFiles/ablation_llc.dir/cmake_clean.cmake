@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_llc.dir/ablation_llc.cc.o"
+  "CMakeFiles/ablation_llc.dir/ablation_llc.cc.o.d"
+  "ablation_llc"
+  "ablation_llc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_llc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_promote_list.dir/ablation_promote_list.cc.o"
+  "CMakeFiles/ablation_promote_list.dir/ablation_promote_list.cc.o.d"
+  "ablation_promote_list"
+  "ablation_promote_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_promote_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

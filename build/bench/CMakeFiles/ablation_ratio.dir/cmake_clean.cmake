@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ratio.dir/ablation_ratio.cc.o"
+  "CMakeFiles/ablation_ratio.dir/ablation_ratio.cc.o.d"
+  "ablation_ratio"
+  "ablation_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tracking_cost.dir/ablation_tracking_cost.cc.o"
+  "CMakeFiles/ablation_tracking_cost.dir/ablation_tracking_cost.cc.o.d"
+  "ablation_tracking_cost"
+  "ablation_tracking_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tracking_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_heatmap.dir/fig01_heatmap.cc.o"
+  "CMakeFiles/fig01_heatmap.dir/fig01_heatmap.cc.o.d"
+  "fig01_heatmap"
+  "fig01_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_frequency.dir/fig02_frequency.cc.o"
+  "CMakeFiles/fig02_frequency.dir/fig02_frequency.cc.o.d"
+  "fig02_frequency"
+  "fig02_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_ycsb_tiering.dir/fig05_ycsb_tiering.cc.o"
+  "CMakeFiles/fig05_ycsb_tiering.dir/fig05_ycsb_tiering.cc.o.d"
+  "fig05_ycsb_tiering"
+  "fig05_ycsb_tiering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_ycsb_tiering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

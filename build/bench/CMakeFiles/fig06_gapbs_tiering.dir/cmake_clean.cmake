@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_gapbs_tiering.dir/fig06_gapbs_tiering.cc.o"
+  "CMakeFiles/fig06_gapbs_tiering.dir/fig06_gapbs_tiering.cc.o.d"
+  "fig06_gapbs_tiering"
+  "fig06_gapbs_tiering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_gapbs_tiering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

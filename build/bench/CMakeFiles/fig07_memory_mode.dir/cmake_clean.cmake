@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_memory_mode.dir/fig07_memory_mode.cc.o"
+  "CMakeFiles/fig07_memory_mode.dir/fig07_memory_mode.cc.o.d"
+  "fig07_memory_mode"
+  "fig07_memory_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_memory_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_promotions.dir/fig08_promotions.cc.o"
+  "CMakeFiles/fig08_promotions.dir/fig08_promotions.cc.o.d"
+  "fig08_promotions"
+  "fig08_promotions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_promotions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

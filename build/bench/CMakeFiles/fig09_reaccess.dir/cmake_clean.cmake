@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_reaccess.dir/fig09_reaccess.cc.o"
+  "CMakeFiles/fig09_reaccess.dir/fig09_reaccess.cc.o.d"
+  "fig09_reaccess"
+  "fig09_reaccess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_reaccess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

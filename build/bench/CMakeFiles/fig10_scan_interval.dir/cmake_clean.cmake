@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_scan_interval.dir/fig10_scan_interval.cc.o"
+  "CMakeFiles/fig10_scan_interval.dir/fig10_scan_interval.cc.o.d"
+  "fig10_scan_interval"
+  "fig10_scan_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_scan_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_features.dir/tab01_features.cc.o"
+  "CMakeFiles/tab01_features.dir/tab01_features.cc.o.d"
+  "tab01_features"
+  "tab01_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvstore_ycsb.dir/kvstore_ycsb.cpp.o"
+  "CMakeFiles/kvstore_ycsb.dir/kvstore_ycsb.cpp.o.d"
+  "kvstore_ycsb"
+  "kvstore_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvstore_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/csv.cc" "src/CMakeFiles/multiclock.dir/base/csv.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/base/csv.cc.o.d"
+  "/root/repo/src/base/logging.cc" "src/CMakeFiles/multiclock.dir/base/logging.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/base/logging.cc.o.d"
+  "/root/repo/src/base/rng.cc" "src/CMakeFiles/multiclock.dir/base/rng.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/base/rng.cc.o.d"
+  "/root/repo/src/base/stats.cc" "src/CMakeFiles/multiclock.dir/base/stats.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/base/stats.cc.o.d"
+  "/root/repo/src/core/kpromoted.cc" "src/CMakeFiles/multiclock.dir/core/kpromoted.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/core/kpromoted.cc.o.d"
+  "/root/repo/src/core/multiclock.cc" "src/CMakeFiles/multiclock.dir/core/multiclock.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/core/multiclock.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/multiclock.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/dram_cache.cc" "src/CMakeFiles/multiclock.dir/mem/dram_cache.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/mem/dram_cache.cc.o.d"
+  "/root/repo/src/mem/memory_config.cc" "src/CMakeFiles/multiclock.dir/mem/memory_config.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/mem/memory_config.cc.o.d"
+  "/root/repo/src/pfra/lru_lists.cc" "src/CMakeFiles/multiclock.dir/pfra/lru_lists.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/pfra/lru_lists.cc.o.d"
+  "/root/repo/src/pfra/vmscan.cc" "src/CMakeFiles/multiclock.dir/pfra/vmscan.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/pfra/vmscan.cc.o.d"
+  "/root/repo/src/pfra/watermarks.cc" "src/CMakeFiles/multiclock.dir/pfra/watermarks.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/pfra/watermarks.cc.o.d"
+  "/root/repo/src/policies/amp.cc" "src/CMakeFiles/multiclock.dir/policies/amp.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/policies/amp.cc.o.d"
+  "/root/repo/src/policies/autotiering.cc" "src/CMakeFiles/multiclock.dir/policies/autotiering.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/policies/autotiering.cc.o.d"
+  "/root/repo/src/policies/factory.cc" "src/CMakeFiles/multiclock.dir/policies/factory.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/policies/factory.cc.o.d"
+  "/root/repo/src/policies/memory_mode.cc" "src/CMakeFiles/multiclock.dir/policies/memory_mode.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/policies/memory_mode.cc.o.d"
+  "/root/repo/src/policies/nimble.cc" "src/CMakeFiles/multiclock.dir/policies/nimble.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/policies/nimble.cc.o.d"
+  "/root/repo/src/policies/policy.cc" "src/CMakeFiles/multiclock.dir/policies/policy.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/policies/policy.cc.o.d"
+  "/root/repo/src/policies/static_tiering.cc" "src/CMakeFiles/multiclock.dir/policies/static_tiering.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/policies/static_tiering.cc.o.d"
+  "/root/repo/src/sim/daemon.cc" "src/CMakeFiles/multiclock.dir/sim/daemon.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/sim/daemon.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/CMakeFiles/multiclock.dir/sim/machine.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/sim/machine.cc.o.d"
+  "/root/repo/src/sim/memory_system.cc" "src/CMakeFiles/multiclock.dir/sim/memory_system.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/sim/memory_system.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/CMakeFiles/multiclock.dir/sim/metrics.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/sim/metrics.cc.o.d"
+  "/root/repo/src/sim/migration.cc" "src/CMakeFiles/multiclock.dir/sim/migration.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/sim/migration.cc.o.d"
+  "/root/repo/src/sim/node.cc" "src/CMakeFiles/multiclock.dir/sim/node.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/sim/node.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/multiclock.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/trace/access_trace.cc" "src/CMakeFiles/multiclock.dir/trace/access_trace.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/trace/access_trace.cc.o.d"
+  "/root/repo/src/trace/heatmap.cc" "src/CMakeFiles/multiclock.dir/trace/heatmap.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/trace/heatmap.cc.o.d"
+  "/root/repo/src/trace/window_analysis.cc" "src/CMakeFiles/multiclock.dir/trace/window_analysis.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/trace/window_analysis.cc.o.d"
+  "/root/repo/src/vm/address_space.cc" "src/CMakeFiles/multiclock.dir/vm/address_space.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/vm/address_space.cc.o.d"
+  "/root/repo/src/vm/page.cc" "src/CMakeFiles/multiclock.dir/vm/page.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/vm/page.cc.o.d"
+  "/root/repo/src/vm/swap.cc" "src/CMakeFiles/multiclock.dir/vm/swap.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/vm/swap.cc.o.d"
+  "/root/repo/src/workloads/gapbs/bc.cc" "src/CMakeFiles/multiclock.dir/workloads/gapbs/bc.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/workloads/gapbs/bc.cc.o.d"
+  "/root/repo/src/workloads/gapbs/bfs.cc" "src/CMakeFiles/multiclock.dir/workloads/gapbs/bfs.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/workloads/gapbs/bfs.cc.o.d"
+  "/root/repo/src/workloads/gapbs/builder.cc" "src/CMakeFiles/multiclock.dir/workloads/gapbs/builder.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/workloads/gapbs/builder.cc.o.d"
+  "/root/repo/src/workloads/gapbs/cc.cc" "src/CMakeFiles/multiclock.dir/workloads/gapbs/cc.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/workloads/gapbs/cc.cc.o.d"
+  "/root/repo/src/workloads/gapbs/driver.cc" "src/CMakeFiles/multiclock.dir/workloads/gapbs/driver.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/workloads/gapbs/driver.cc.o.d"
+  "/root/repo/src/workloads/gapbs/generator.cc" "src/CMakeFiles/multiclock.dir/workloads/gapbs/generator.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/workloads/gapbs/generator.cc.o.d"
+  "/root/repo/src/workloads/gapbs/graph.cc" "src/CMakeFiles/multiclock.dir/workloads/gapbs/graph.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/workloads/gapbs/graph.cc.o.d"
+  "/root/repo/src/workloads/gapbs/pr.cc" "src/CMakeFiles/multiclock.dir/workloads/gapbs/pr.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/workloads/gapbs/pr.cc.o.d"
+  "/root/repo/src/workloads/gapbs/sssp.cc" "src/CMakeFiles/multiclock.dir/workloads/gapbs/sssp.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/workloads/gapbs/sssp.cc.o.d"
+  "/root/repo/src/workloads/gapbs/tc.cc" "src/CMakeFiles/multiclock.dir/workloads/gapbs/tc.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/workloads/gapbs/tc.cc.o.d"
+  "/root/repo/src/workloads/kvstore.cc" "src/CMakeFiles/multiclock.dir/workloads/kvstore.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/workloads/kvstore.cc.o.d"
+  "/root/repo/src/workloads/synthetic.cc" "src/CMakeFiles/multiclock.dir/workloads/synthetic.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/workloads/synthetic.cc.o.d"
+  "/root/repo/src/workloads/ycsb.cc" "src/CMakeFiles/multiclock.dir/workloads/ycsb.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/workloads/ycsb.cc.o.d"
+  "/root/repo/src/workloads/zipf.cc" "src/CMakeFiles/multiclock.dir/workloads/zipf.cc.o" "gcc" "src/CMakeFiles/multiclock.dir/workloads/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

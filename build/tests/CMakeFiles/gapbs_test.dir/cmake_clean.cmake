@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gapbs_test.dir/gapbs_test.cc.o"
+  "CMakeFiles/gapbs_test.dir/gapbs_test.cc.o.d"
+  "gapbs_test"
+  "gapbs_test.pdb"
+  "gapbs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gapbs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfra_test.dir/pfra_test.cc.o"
+  "CMakeFiles/pfra_test.dir/pfra_test.cc.o.d"
+  "pfra_test"
+  "pfra_test.pdb"
+  "pfra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
