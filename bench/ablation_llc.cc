@@ -1,73 +1,14 @@
 /**
  * @file
- * Ablation — LLC size vs tiering benefit.
- *
- * The on-chip cache competes with DRAM for the hot set: every line it
- * absorbs is an access the memory tiers never see. This sweep shows
- * MULTI-CLOCK's gain over static tiering shrinking as the LLC grows
- * toward the hot-band size — the reason the benches scale the LLC with
- * the footprint (EXPERIMENTS.md, scaling note 3).
+ * Compatibility wrapper: LLC ablation now lives in the scenario registry
+ * (src/harness). Same flags, same output; see mclock_bench for the
+ * unified driver.
  */
 
-#include <cstdio>
-#include <vector>
-
-#include "bench_common.hh"
-
-using namespace mclock;
-
-namespace {
-
-double
-runYcsbA(const std::string &policy, std::size_t llcBytes,
-         const workloads::YcsbConfig &ycsb)
-{
-    sim::MachineConfig machine = bench::ycsbMachine();
-    machine.cache.sizeBytes = llcBytes;
-    machine.cache.ways = 8;
-    sim::Simulator sim(machine);
-    sim.setPolicy(
-        policies::makePolicy(policy, bench::benchPolicyOptions()));
-    workloads::YcsbDriver driver(sim, ycsb);
-    driver.load();
-    return driver.run(workloads::YcsbWorkload::A)
-        .throughputOpsPerSec();
-}
-
-}  // namespace
+#include "harness/legacy_main.hh"
 
 int
 main(int argc, char **argv)
 {
-    const std::uint64_t ops =
-        bench::argValue(argc, argv, "--ops", 800000);
-    const auto ycsb = bench::ycsbBenchConfig(ops);
-
-    const std::vector<std::pair<const char *, std::size_t>> sizes{
-        {"64KiB", 64_KiB},
-        {"256KiB", 256_KiB},
-        {"1MiB", 1_MiB},
-        {"4MiB", 4_MiB},
-    };
-
-    std::printf("=== Ablation: LLC size vs tiering benefit (YCSB-A) "
-                "===\n");
-    std::printf("%-8s %14s %14s %10s\n", "LLC", "static(kops)",
-                "mclock(kops)", "speedup");
-    CsvWriter csv("ablation_llc.csv");
-    csv.writeHeader({"llc", "static_kops", "multiclock_kops",
-                     "speedup"});
-
-    for (const auto &[label, bytes] : sizes) {
-        const double st = runYcsbA("static", bytes, ycsb) / 1e3;
-        const double mc = runYcsbA("multiclock", bytes, ycsb) / 1e3;
-        std::printf("%-8s %14.1f %14.1f %10.3f\n", label, st, mc,
-                    mc / st);
-        csv.writeRow({label, std::to_string(st), std::to_string(mc),
-                      std::to_string(mc / st)});
-    }
-    std::printf("\nExpected: the larger the LLC relative to the hot "
-                "band, the smaller the benefit of page placement.\n"
-                "wrote ablation_llc.csv\n");
-    return 0;
+    return mclock::harness::legacyMain("ablation_llc", argc, argv);
 }

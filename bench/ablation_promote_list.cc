@@ -1,68 +1,14 @@
 /**
  * @file
- * Ablation D1 — What does the third (promote) list buy?
- *
- * Compares selection mechanisms on YCSB-A at identical scan budgets:
- *  - multiclock: 3 recent references via the promote list,
- *  - nimble:     1 recent reference (recency only),
- *  - amp-lru / amp-lfu / amp-random: full-profiling selections.
- *
- * Reports throughput plus promotion volume and re-access quality, the
- * quantities that explain Figs. 8/9.
+ * Compatibility wrapper: Ablation D1 now lives in the scenario registry
+ * (src/harness). Same flags, same output; see mclock_bench for the
+ * unified driver.
  */
 
-#include <cstdio>
-#include <vector>
-
-#include "bench_common.hh"
-
-using namespace mclock;
+#include "harness/legacy_main.hh"
 
 int
 main(int argc, char **argv)
 {
-    const std::uint64_t ops =
-        bench::argValue(argc, argv, "--ops", 1200000);
-    const auto ycsb = bench::ycsbBenchConfig(ops);
-    const auto machine = bench::ycsbMachine();
-    const auto opts = bench::benchPolicyOptions();
-    // Optional workload selector (--workload 0..6 indexes A..W).
-    const auto wsel = bench::argValue(argc, argv, "--workload", 0);
-    const auto workload = static_cast<workloads::YcsbWorkload>(wsel);
-
-    std::printf("=== Ablation D1: page-selection mechanism (YCSB-%s) "
-                "===\n", workloads::ycsbWorkloadName(workload));
-    std::printf("%-12s %12s %12s %12s %12s\n", "selection", "kops/s",
-                "promoted", "reaccess%", "demoted");
-    CsvWriter csv("ablation_promote_list.csv");
-    csv.writeHeader({"selection", "kops", "promoted", "reaccess_pct",
-                     "demoted"});
-
-    for (const std::string policy :
-         {"multiclock", "nimble", "amp-lru", "amp-lfu", "amp-random"}) {
-        sim::Simulator sim(machine);
-        sim.setPolicy(policies::makePolicy(policy, opts));
-        workloads::YcsbDriver driver(sim, ycsb);
-        driver.load();
-        const auto r = driver.run(workload);
-        const auto promoted = sim.metrics().totalPromotions();
-        const auto reaccessed = sim.metrics().totalReaccessed();
-        const double pct =
-            promoted ? 100.0 * static_cast<double>(reaccessed) /
-                           static_cast<double>(promoted)
-                     : 0.0;
-        std::printf("%-12s %12.1f %12llu %12.1f %12llu  swaps=%llu\n",
-                    policy.c_str(), r.throughputOpsPerSec() / 1e3,
-                    static_cast<unsigned long long>(promoted), pct,
-                    static_cast<unsigned long long>(
-                        sim.metrics().totalDemotions()),
-                    static_cast<unsigned long long>(
-                        sim.stats().get("swap_outs")));
-        csv.writeRow({policy,
-                      std::to_string(r.throughputOpsPerSec() / 1e3),
-                      std::to_string(promoted), std::to_string(pct),
-                      std::to_string(sim.metrics().totalDemotions())});
-    }
-    std::printf("\nwrote ablation_promote_list.csv\n");
-    return 0;
+    return mclock::harness::legacyMain("ablation_promote_list", argc, argv);
 }

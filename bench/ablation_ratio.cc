@@ -1,74 +1,14 @@
 /**
  * @file
- * Ablation D4 — DRAM:PM capacity ratio sweep (paper §VII future work):
- * MULTI-CLOCK's gain over static tiering as the DRAM share shrinks.
+ * Compatibility wrapper: Ablation D4 now lives in the scenario registry
+ * (src/harness). Same flags, same output; see mclock_bench for the
+ * unified driver.
  */
 
-#include <cstdio>
-#include <vector>
-
-#include "bench_common.hh"
-
-using namespace mclock;
-
-namespace {
-
-double
-runYcsbA(const std::string &policy, const sim::MachineConfig &machine,
-         const workloads::YcsbConfig &ycsb)
-{
-    sim::Simulator sim(machine);
-    sim.setPolicy(
-        policies::makePolicy(policy, bench::benchPolicyOptions()));
-    workloads::YcsbDriver driver(sim, ycsb);
-    driver.load();
-    return driver.run(workloads::YcsbWorkload::A)
-        .throughputOpsPerSec();
-}
-
-}  // namespace
+#include "harness/legacy_main.hh"
 
 int
 main(int argc, char **argv)
 {
-    const std::uint64_t ops =
-        bench::argValue(argc, argv, "--ops", 1000000);
-    const auto ycsb = bench::ycsbBenchConfig(ops);
-
-    struct Ratio
-    {
-        const char *label;
-        std::size_t dram;
-        std::size_t pmem;
-    };
-    const std::vector<Ratio> ratios{
-        {"1:2", 24_MiB, 48_MiB},
-        {"1:4", 16_MiB, 64_MiB},
-        {"1:8", 8_MiB, 64_MiB},
-        {"1:16", 4_MiB, 64_MiB},
-    };
-
-    std::printf("=== Ablation D4: DRAM:PM ratio sweep (YCSB-A, "
-                "fixed footprint) ===\n");
-    std::printf("%-6s %14s %14s %10s\n", "ratio", "static(kops)",
-                "mclock(kops)", "speedup");
-    CsvWriter csv("ablation_ratio.csv");
-    csv.writeHeader({"ratio", "static_kops", "multiclock_kops",
-                     "speedup"});
-
-    for (const auto &r : ratios) {
-        sim::MachineConfig machine = bench::ycsbMachine();
-        machine.nodes = {{TierKind::Dram, r.dram},
-                         {TierKind::Pmem, r.pmem}};
-        const double st = runYcsbA("static", machine, ycsb) / 1e3;
-        const double mc = runYcsbA("multiclock", machine, ycsb) / 1e3;
-        std::printf("%-6s %14.1f %14.1f %10.3f\n", r.label, st, mc,
-                    mc / st);
-        csv.writeRow({r.label, std::to_string(st), std::to_string(mc),
-                      std::to_string(mc / st)});
-    }
-    std::printf("\nExpected: the dynamic-tiering advantage grows as "
-                "DRAM becomes scarcer, until DRAM is too small to hold "
-                "the hot set.\nwrote ablation_ratio.csv\n");
-    return 0;
+    return mclock::harness::legacyMain("ablation_ratio", argc, argv);
 }

@@ -1,60 +1,14 @@
 /**
  * @file
- * Ablation D2 — Reference-bit scanning vs software hint-page-fault
- * tracking: decomposes where each mechanism spends time on YCSB-A.
+ * Compatibility wrapper: Ablation D2 now lives in the scenario registry
+ * (src/harness). Same flags, same output; see mclock_bench for the
+ * unified driver.
  */
 
-#include <cstdio>
-
-#include "bench_common.hh"
-
-using namespace mclock;
+#include "harness/legacy_main.hh"
 
 int
 main(int argc, char **argv)
 {
-    const std::uint64_t ops =
-        bench::argValue(argc, argv, "--ops", 1200000);
-    const auto ycsb = bench::ycsbBenchConfig(ops);
-    const auto machine = bench::ycsbMachine();
-    const auto opts = bench::benchPolicyOptions();
-
-    std::printf("=== Ablation D2: access-tracking mechanism cost "
-                "(YCSB-A) ===\n");
-    std::printf("%-12s %10s %12s %14s %16s %16s\n", "policy", "kops/s",
-                "hint_faults", "scanned_pages", "inline_ovh(ms)",
-                "bg_work(ms)");
-    CsvWriter csv("ablation_tracking_cost.csv");
-    csv.writeHeader({"policy", "kops", "hint_faults", "scanned_pages",
-                     "inline_overhead_ms", "background_work_ms"});
-
-    for (const auto &policy : policies::tieredPolicyNames()) {
-        sim::Simulator sim(machine);
-        sim.setPolicy(policies::makePolicy(policy, opts));
-        workloads::YcsbDriver driver(sim, ycsb);
-        driver.load();
-        const auto r = driver.run(workloads::YcsbWorkload::A);
-        const double inlineMs =
-            static_cast<double>(
-                sim.stats().get("inline_overhead_ns")) / 1e6;
-        const double bgMs =
-            static_cast<double>(
-                sim.stats().get("background_work_ns")) / 1e6;
-        std::printf("%-12s %10.1f %12llu %14llu %16.2f %16.2f\n",
-                    policy.c_str(), r.throughputOpsPerSec() / 1e3,
-                    static_cast<unsigned long long>(
-                        sim.stats().get("hint_faults")),
-                    static_cast<unsigned long long>(
-                        sim.stats().get("scanned_pages")),
-                    inlineMs, bgMs);
-        csv.writeRow({policy,
-                      std::to_string(r.throughputOpsPerSec() / 1e3),
-                      std::to_string(sim.stats().get("hint_faults")),
-                      std::to_string(sim.stats().get("scanned_pages")),
-                      std::to_string(inlineMs), std::to_string(bgMs)});
-    }
-    std::printf("\nExpected: AT-* pay hint faults + fault-path "
-                "migrations inline; reference-bit policies pay only "
-                "background scans.\nwrote ablation_tracking_cost.csv\n");
-    return 0;
+    return mclock::harness::legacyMain("ablation_tracking_cost", argc, argv);
 }

@@ -1,64 +1,14 @@
 /**
  * @file
- * Fig. 1 — Access-frequency heatmaps of 50 sampled pages over time for
- * four workload profiles (RUBiS, SPECpower-80%, xalan, lusearch).
- *
- * Prints an ASCII rendering of each heatmap and writes one CSV per
- * profile (fig01_<profile>.csv) with the full matrix.
+ * Compatibility wrapper: Fig. 1 heatmaps now lives in the scenario registry
+ * (src/harness). Same flags, same output; see mclock_bench for the
+ * unified driver.
  */
 
-#include <cstdio>
-#include <iostream>
-
-#include "bench_common.hh"
-#include "policies/static_tiering.hh"
-#include "trace/heatmap.hh"
-#include "workloads/synthetic.hh"
-
-using namespace mclock;
+#include "harness/legacy_main.hh"
 
 int
 main(int argc, char **argv)
 {
-    const auto duration =
-        bench::argValue(argc, argv, "--seconds", 120);
-
-    std::printf("=== Fig. 1: page access heatmaps "
-                "(50 sampled pages x time) ===\n");
-    for (auto profile :
-         {workloads::SyntheticProfile::Rubis,
-          workloads::SyntheticProfile::SpecPower,
-          workloads::SyntheticProfile::Xalan,
-          workloads::SyntheticProfile::Lusearch}) {
-        sim::MachineConfig machine = bench::ycsbMachine();
-        sim::Simulator sim(machine);
-        sim.setPolicy(
-            std::make_unique<policies::StaticTieringPolicy>());
-
-        workloads::SyntheticConfig cfg;
-        cfg.numPages = 2000;
-        cfg.duration = duration * 1_s;
-        workloads::SyntheticWorkload workload(sim, profile, cfg);
-        trace::AccessTrace trace;
-        workload.run(&trace);
-
-        trace::HeatmapConfig hmCfg;
-        hmCfg.sampledPages = 50;
-        hmCfg.timeBuckets = 64;
-        const trace::Heatmap hm =
-            trace::Heatmap::build(trace, cfg.numPages, hmCfg);
-
-        const char *name = workloads::syntheticProfileName(profile);
-        std::printf("\n--- (%s): %zu traced accesses ---\n", name,
-                    trace.size());
-        hm.render(std::cout);
-
-        CsvWriter csv(std::string("fig01_") + name + ".csv");
-        hm.writeCsv(csv);
-        std::printf("wrote fig01_%s.csv\n", name);
-    }
-    std::printf("\nExpected shape: rows split into always-hot "
-                "(DRAM-friendly), sparse (infrequent), and bimodal "
-                "phase-hot (Tier-friendly) pages.\n");
-    return 0;
+    return mclock::harness::legacyMain("fig01", argc, argv);
 }

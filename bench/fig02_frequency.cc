@@ -1,64 +1,14 @@
 /**
  * @file
- * Fig. 2 — Observation/performance window analysis: pages accessed
- * multiple times in an observation window are accessed far more in the
- * next performance window than pages accessed once (MULTI-CLOCK's core
- * hypothesis).
+ * Compatibility wrapper: Fig. 2 window analysis now lives in the scenario registry
+ * (src/harness). Same flags, same output; see mclock_bench for the
+ * unified driver.
  */
 
-#include <cstdio>
-
-#include "bench_common.hh"
-#include "policies/static_tiering.hh"
-#include "trace/window_analysis.hh"
-#include "workloads/synthetic.hh"
-
-using namespace mclock;
+#include "harness/legacy_main.hh"
 
 int
 main(int argc, char **argv)
 {
-    const auto duration = bench::argValue(argc, argv, "--seconds", 120);
-    const SimTime window = 1_s * bench::argValue(argc, argv,
-                                                 "--window-s", 2);
-
-    std::printf("=== Fig. 2: accesses in the performance window, by "
-                "observation-window frequency class ===\n");
-    std::printf("%-14s %14s %14s %8s\n", "workload",
-                "single (mean)", "multi (mean)", "ratio");
-
-    CsvWriter csv("fig02_frequency.csv");
-    csv.writeHeader({"workload", "single_mean", "multi_mean", "ratio",
-                     "single_samples", "multi_samples"});
-
-    for (auto profile :
-         {workloads::SyntheticProfile::Rubis,
-          workloads::SyntheticProfile::SpecPower,
-          workloads::SyntheticProfile::Xalan,
-          workloads::SyntheticProfile::Lusearch}) {
-        sim::Simulator sim(bench::ycsbMachine());
-        sim.setPolicy(
-            std::make_unique<policies::StaticTieringPolicy>());
-        workloads::SyntheticConfig cfg;
-        cfg.numPages = 2000;
-        cfg.duration = duration * 1_s;
-        workloads::SyntheticWorkload workload(sim, profile, cfg);
-        trace::AccessTrace trace;
-        workload.run(&trace);
-
-        const auto r = trace::analyzeWindows(trace, window, window);
-        const char *name = workloads::syntheticProfileName(profile);
-        std::printf("%-14s %14.2f %14.2f %8.2f\n", name,
-                    r.singleMeanPerfAccesses, r.multiMeanPerfAccesses,
-                    r.ratio());
-        csv.writeRow({std::string(name),
-                      std::to_string(r.singleMeanPerfAccesses),
-                      std::to_string(r.multiMeanPerfAccesses),
-                      std::to_string(r.ratio()),
-                      std::to_string(r.singleSamples),
-                      std::to_string(r.multiSamples)});
-    }
-    std::printf("\nExpected shape: multi >> single for every workload "
-                "(the paper's Fig. 2).\nwrote fig02_frequency.csv\n");
-    return 0;
+    return mclock::harness::legacyMain("fig02", argc, argv);
 }

@@ -1,66 +1,14 @@
 /**
  * @file
- * Fig. 5 — YCSB throughput (workloads A, B, C, F, W, D) normalised to
- * static tiering, for MULTI-CLOCK, Nimble, AutoTiering-CPM and
- * AutoTiering-OPM.
- *
- * Expected shape (paper): MULTI-CLOCK highest everywhere; vs static
- * +20..132% (max on D); vs Nimble +9..36%; AT-CPM far below static;
- * AT-OPM between AT-CPM and Nimble.
+ * Compatibility wrapper: Fig. 5 YCSB throughput now lives in the scenario registry
+ * (src/harness). Same flags, same output; see mclock_bench for the
+ * unified driver.
  */
 
-#include <cstdio>
-#include <vector>
-
-#include "bench_common.hh"
-
-using namespace mclock;
+#include "harness/legacy_main.hh"
 
 int
 main(int argc, char **argv)
 {
-    const std::uint64_t ops =
-        bench::argValue(argc, argv, "--ops", 1200000);
-    const auto ycsb = bench::ycsbBenchConfig(ops);
-    const auto machine = bench::ycsbMachine();
-    const auto opts = bench::benchPolicyOptions();
-    const std::vector<std::string> workloads{"A", "B", "C", "F",
-                                             "W", "D"};
-
-    std::printf("=== Fig. 5: YCSB throughput normalised to static "
-                "tiering ===\n");
-    std::printf("records=%zu ops/workload=%llu footprint~2.5x DRAM\n",
-                ycsb.recordCount,
-                static_cast<unsigned long long>(ops));
-
-    CsvWriter csv("fig05_ycsb_tiering.csv");
-    std::vector<std::string> header{"policy"};
-    for (const auto &w : workloads)
-        header.push_back(w);
-    csv.writeHeader(header);
-
-    std::vector<double> baseline;
-    std::printf("%-12s", "policy");
-    for (const auto &w : workloads)
-        std::printf(" %8s", w.c_str());
-    std::printf("\n");
-
-    for (const auto &policy : policies::tieredPolicyNames()) {
-        const auto out =
-            bench::runYcsbSequence(policy, ycsb, machine, opts);
-        std::vector<double> tput;
-        for (const auto &w : workloads)
-            tput.push_back(out.throughput.at(w));
-        if (policy == "static")
-            baseline = tput;
-        bench::printNormalizedRow(policy, tput, baseline);
-
-        std::vector<std::string> row{policy};
-        for (std::size_t i = 0; i < tput.size(); ++i)
-            row.push_back(std::to_string(tput[i] / baseline[i]));
-        csv.writeRow(row);
-    }
-    std::printf("\nwrote fig05_ycsb_tiering.csv (values normalised to "
-                "static)\n");
-    return 0;
+    return mclock::harness::legacyMain("fig05", argc, argv);
 }

@@ -1,72 +1,14 @@
 /**
  * @file
- * Fig. 6 — GAPBS execution time (BFS, SSSP, PR, CC, BC, TC) normalised
- * to static tiering, for MULTI-CLOCK, Nimble, AT-CPM, AT-OPM.
- *
- * Expected shape (paper): smaller gains than YCSB; MULTI-CLOCK 4-68%
- * faster than static with the largest gain on SSSP; AT-CPM close to
- * static (its performance depends on initial placement) and may edge
- * out MULTI-CLOCK slightly on BFS/BC; AT-OPM below AT-CPM.
+ * Compatibility wrapper: Fig. 6 GAPBS kernels now lives in the scenario registry
+ * (src/harness). Same flags, same output; see mclock_bench for the
+ * unified driver.
  */
 
-#include <cstdio>
-#include <map>
-#include <vector>
-
-#include "bench_common.hh"
-
-using namespace mclock;
-using workloads::gapbs::Kernel;
+#include "harness/legacy_main.hh"
 
 int
 main(int argc, char **argv)
 {
-    auto cfg = bench::gapbsBenchConfig();
-    cfg.trials = static_cast<unsigned>(
-        bench::argValue(argc, argv, "--trials", cfg.trials));
-    const auto machine = bench::gapbsMachine();
-    const auto opts = bench::benchPolicyOptions();
-
-    const std::vector<Kernel> kernels{Kernel::BFS, Kernel::SSSP,
-                                      Kernel::PR,  Kernel::CC,
-                                      Kernel::BC,  Kernel::TC};
-
-    std::printf("=== Fig. 6: GAPBS avg execution time per trial, "
-                "normalised to static tiering (lower is better) ===\n");
-    std::printf("kron scale=%u degree=%u trials=%u\n", cfg.scale,
-                cfg.degree, cfg.trials);
-    std::printf("%-12s", "policy");
-    for (Kernel k : kernels)
-        std::printf(" %8s", workloads::gapbs::kernelName(k));
-    std::printf("\n");
-
-    CsvWriter csv("fig06_gapbs_tiering.csv");
-    std::vector<std::string> header{"policy"};
-    for (Kernel k : kernels)
-        header.push_back(workloads::gapbs::kernelName(k));
-    csv.writeHeader(header);
-
-    std::map<Kernel, double> baseline;
-    for (const auto &policy : policies::tieredPolicyNames()) {
-        std::printf("%-12s", policy.c_str());
-        std::vector<std::string> row{policy};
-        for (Kernel k : kernels) {
-            sim::Simulator sim(machine);
-            sim.setPolicy(policies::makePolicy(policy, opts));
-            workloads::gapbs::GapbsDriver driver(sim, cfg);
-            const auto r = driver.run(k);
-            const double secs = r.avgTrialSeconds();
-            if (policy == "static")
-                baseline[k] = secs;
-            const double norm = secs / baseline[k];
-            std::printf(" %8.3f", norm);
-            std::fflush(stdout);
-            row.push_back(std::to_string(norm));
-        }
-        std::printf("\n");
-        csv.writeRow(row);
-    }
-    std::printf("\nwrote fig06_gapbs_tiering.csv (execution time "
-                "normalised to static)\n");
-    return 0;
+    return mclock::harness::legacyMain("fig06", argc, argv);
 }

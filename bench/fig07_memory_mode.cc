@@ -1,108 +1,14 @@
 /**
  * @file
- * Fig. 7 — Memory-mode comparison with the workload sized at 4x the
- * DRAM capacity: (a) YCSB throughput, (b) GAPBS PageRank execution
- * time, both normalised to static tiering.
- *
- * Expected shape (paper): MULTI-CLOCK within -2%..+9% of Memory-mode
- * on YCSB and ~21% faster on PageRank, while exposing the full
- * DRAM+PM capacity instead of hiding the DRAM.
+ * Compatibility wrapper: Fig. 7 Memory-mode comparison now lives in the scenario registry
+ * (src/harness). Same flags, same output; see mclock_bench for the
+ * unified driver.
  */
 
-#include <cstdio>
-#include <map>
-#include <vector>
-
-#include "bench_common.hh"
-
-using namespace mclock;
-
-namespace {
-
-double
-runYcsbA(const std::string &policy, const sim::MachineConfig &machine,
-         const workloads::YcsbConfig &ycsb,
-         const policies::PolicyOptions &opts)
-{
-    sim::Simulator sim(machine);
-    sim.setPolicy(policies::makePolicy(policy, opts));
-    workloads::YcsbDriver driver(sim, ycsb);
-    driver.load();
-    std::map<std::string, double> tput;
-    for (const auto &r : driver.runPaperSequence())
-        tput[r.workload] = r.throughputOpsPerSec();
-    return tput.at("A");
-}
-
-double
-runPagerank(const std::string &policy,
-            const sim::MachineConfig &machine,
-            const policies::PolicyOptions &opts)
-{
-    sim::Simulator sim(machine);
-    sim.setPolicy(policies::makePolicy(policy, opts));
-    workloads::gapbs::GapbsConfig cfg;
-    cfg.scale = 16;   // footprint ~4x the 8 MiB DRAM-equivalent
-    cfg.degree = 20;
-    cfg.trials = 2;
-    cfg.prIters = 6;
-    workloads::gapbs::GapbsDriver driver(sim, cfg);
-    return driver.run(workloads::gapbs::Kernel::PR).avgTrialSeconds();
-}
-
-}  // namespace
+#include "harness/legacy_main.hh"
 
 int
 main(int argc, char **argv)
 {
-    const std::uint64_t ops =
-        bench::argValue(argc, argv, "--ops", 1200000);
-    // Workload sized ~4x DRAM (paper: Memory-mode uses all DRAM as
-    // cache, so a competitive comparison needs footprint >> cache).
-    workloads::YcsbConfig ycsb;
-    ycsb.recordCount = 60000;  // ~64 MiB items vs 16 MiB DRAM
-    ycsb.valueBytes = 1024;
-    ycsb.opsPerWorkload = ops;
-
-    auto opts = bench::benchPolicyOptions();
-    const auto tiered = bench::memModeTieredMachine();
-    const auto pmOnly = bench::memModePmMachine();
-    opts.dramCacheBytes = tiered.tierBytes(TierKind::Dram);
-
-    std::printf("=== Fig. 7(a): YCSB-A throughput, workload ~4x DRAM, "
-                "normalised to static ===\n");
-    const double staticTput = runYcsbA("static", tiered, ycsb, opts);
-    const double mclockTput =
-        runYcsbA("multiclock", tiered, ycsb, opts);
-    const double mmTput = runYcsbA("memory-mode", pmOnly, ycsb, opts);
-    std::printf("%-12s %8.3f\n", "static", 1.0);
-    std::printf("%-12s %8.3f\n", "multiclock", mclockTput / staticTput);
-    std::printf("%-12s %8.3f\n", "memory-mode", mmTput / staticTput);
-
-    std::printf("\n=== Fig. 7(b): PageRank execution time, normalised "
-                "to static (lower is better) ===\n");
-    sim::MachineConfig gTiered = bench::gapbsMachine();
-    gTiered.nodes = {{TierKind::Dram, 8_MiB}, {TierKind::Pmem, 48_MiB}};
-    sim::MachineConfig gPm = gTiered;
-    gPm.nodes = {{TierKind::Pmem, 48_MiB}};
-    auto gOpts = opts;
-    gOpts.dramCacheBytes = 8_MiB;
-    const double staticPr = runPagerank("static", gTiered, gOpts);
-    const double mclockPr = runPagerank("multiclock", gTiered, gOpts);
-    const double mmPr = runPagerank("memory-mode", gPm, gOpts);
-    std::printf("%-12s %8.3f\n", "static", 1.0);
-    std::printf("%-12s %8.3f\n", "multiclock", mclockPr / staticPr);
-    std::printf("%-12s %8.3f\n", "memory-mode", mmPr / staticPr);
-
-    CsvWriter csv("fig07_memory_mode.csv");
-    csv.writeHeader({"experiment", "static", "multiclock",
-                     "memory_mode"});
-    csv.writeRow({"ycsb_a_norm_tput", "1.0",
-                  std::to_string(mclockTput / staticTput),
-                  std::to_string(mmTput / staticTput)});
-    csv.writeRow({"pagerank_norm_time", "1.0",
-                  std::to_string(mclockPr / staticPr),
-                  std::to_string(mmPr / staticPr)});
-    std::printf("\nwrote fig07_memory_mode.csv\n");
-    return 0;
+    return mclock::harness::legacyMain("fig07", argc, argv);
 }

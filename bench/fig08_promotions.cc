@@ -1,69 +1,14 @@
 /**
  * @file
- * Fig. 8 — Pages promoted per (scaled) 20 s window over the run, for
- * MULTI-CLOCK and Nimble on YCSB workload A.
- *
- * Expected shape (paper): Nimble promotes more pages than MULTI-CLOCK
- * in (almost) every window.
+ * Compatibility wrapper: Fig. 8 promotion volume now lives in the scenario registry
+ * (src/harness). Same flags, same output; see mclock_bench for the
+ * unified driver.
  */
 
-#include <algorithm>
-#include <cstdio>
-#include <vector>
-
-#include "bench_common.hh"
-
-using namespace mclock;
-
-namespace {
-
-std::vector<sim::MetricsWindow>
-runWindows(const std::string &policy, std::uint64_t ops)
-{
-    sim::Simulator sim(bench::ycsbMachine());
-    sim.setPolicy(
-        policies::makePolicy(policy, bench::benchPolicyOptions()));
-    auto ycsb = bench::ycsbBenchConfig(ops);
-    workloads::YcsbDriver driver(sim, ycsb);
-    driver.load();
-    driver.run(workloads::YcsbWorkload::A);
-    return sim.metrics().windows();
-}
-
-}  // namespace
+#include "harness/legacy_main.hh"
 
 int
 main(int argc, char **argv)
 {
-    const std::uint64_t ops =
-        bench::argValue(argc, argv, "--ops", 4000000);
-
-    std::printf("=== Fig. 8: pages promoted per 20 s (scaled) window, "
-                "YCSB-A ===\n");
-    const auto mclock = runWindows("multiclock", ops);
-    const auto nimble = runWindows("nimble", ops);
-    const std::size_t windows = std::min(mclock.size(), nimble.size());
-
-    CsvWriter csv("fig08_promotions.csv");
-    csv.writeHeader({"window", "multiclock", "nimble"});
-    std::printf("%-8s %12s %12s\n", "window", "multiclock", "nimble");
-    std::uint64_t mcTotal = 0, nbTotal = 0;
-    for (std::size_t w = 0; w < windows; ++w) {
-        std::printf("%-8zu %12llu %12llu\n", w,
-                    static_cast<unsigned long long>(
-                        mclock[w].promotions),
-                    static_cast<unsigned long long>(
-                        nimble[w].promotions));
-        csv.writeRow({std::to_string(w),
-                      std::to_string(mclock[w].promotions),
-                      std::to_string(nimble[w].promotions)});
-        mcTotal += mclock[w].promotions;
-        nbTotal += nimble[w].promotions;
-    }
-    std::printf("%-8s %12llu %12llu\n", "total",
-                static_cast<unsigned long long>(mcTotal),
-                static_cast<unsigned long long>(nbTotal));
-    std::printf("\nExpected shape: Nimble promotes more pages than "
-                "MULTI-CLOCK.\nwrote fig08_promotions.csv\n");
-    return 0;
+    return mclock::harness::legacyMain("fig08", argc, argv);
 }

@@ -1,81 +1,14 @@
 /**
  * @file
- * Fig. 9 — Percentage of recently promoted pages re-accessed from the
- * DRAM tier, per (scaled) 20 s window, MULTI-CLOCK vs Nimble, YCSB-A.
- *
- * Expected shape (paper): MULTI-CLOCK's promoted pages show a ~15
- * percentage-point higher re-access rate — it promotes fewer pages,
- * but the right ones.
+ * Compatibility wrapper: Fig. 9 re-access quality now lives in the scenario registry
+ * (src/harness). Same flags, same output; see mclock_bench for the
+ * unified driver.
  */
 
-#include <algorithm>
-#include <cstdio>
-#include <vector>
-
-#include "bench_common.hh"
-
-using namespace mclock;
-
-namespace {
-
-std::vector<sim::MetricsWindow>
-runWindows(const std::string &policy, std::uint64_t ops)
-{
-    sim::Simulator sim(bench::ycsbMachine());
-    sim.setPolicy(
-        policies::makePolicy(policy, bench::benchPolicyOptions()));
-    auto ycsb = bench::ycsbBenchConfig(ops);
-    workloads::YcsbDriver driver(sim, ycsb);
-    driver.load();
-    driver.run(workloads::YcsbWorkload::A);
-    return sim.metrics().windows();
-}
-
-double
-overallRate(const std::vector<sim::MetricsWindow> &windows)
-{
-    std::uint64_t promoted = 0, reaccessed = 0;
-    for (const auto &w : windows) {
-        promoted += w.promotions;
-        reaccessed += w.promotedReaccessed;
-    }
-    return promoted ? 100.0 * static_cast<double>(reaccessed) /
-                          static_cast<double>(promoted)
-                    : 0.0;
-}
-
-}  // namespace
+#include "harness/legacy_main.hh"
 
 int
 main(int argc, char **argv)
 {
-    const std::uint64_t ops =
-        bench::argValue(argc, argv, "--ops", 4000000);
-
-    std::printf("=== Fig. 9: re-access %% of recently promoted pages "
-                "per 20 s (scaled) window, YCSB-A ===\n");
-    const auto mclock = runWindows("multiclock", ops);
-    const auto nimble = runWindows("nimble", ops);
-    const std::size_t windows = std::min(mclock.size(), nimble.size());
-
-    CsvWriter csv("fig09_reaccess.csv");
-    csv.writeHeader({"window", "multiclock_pct", "nimble_pct"});
-    std::printf("%-8s %14s %14s\n", "window", "multiclock(%)",
-                "nimble(%)");
-    for (std::size_t w = 0; w < windows; ++w) {
-        if (mclock[w].promotions == 0 && nimble[w].promotions == 0)
-            continue;
-        std::printf("%-8zu %14.1f %14.1f\n", w,
-                    mclock[w].reaccessPercent(),
-                    nimble[w].reaccessPercent());
-        csv.writeRow({std::to_string(w),
-                      std::to_string(mclock[w].reaccessPercent()),
-                      std::to_string(nimble[w].reaccessPercent())});
-    }
-    std::printf("%-8s %14.1f %14.1f\n", "overall", overallRate(mclock),
-                overallRate(nimble));
-    std::printf("\nExpected shape: MULTI-CLOCK's re-access %% exceeds "
-                "Nimble's (paper: ~15 points).\n"
-                "wrote fig09_reaccess.csv\n");
-    return 0;
+    return mclock::harness::legacyMain("fig09", argc, argv);
 }

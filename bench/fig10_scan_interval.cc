@@ -1,71 +1,14 @@
 /**
  * @file
- * Fig. 10 — Scanning-interval sensitivity: YCSB-A throughput for
- * MULTI-CLOCK and Nimble at paper-scale intervals of 100 ms, 250 ms,
- * 500 ms, 1 s, 5 s, and 60 s (scaled by kTimeScale like all cadences).
- *
- * Expected shape (paper): ~1 s is near-best; intervals >= 5 s flatten
- * out (reaction lag); MULTI-CLOCK >= Nimble throughout.
+ * Compatibility wrapper: Fig. 10 scan-interval sweep now lives in the scenario registry
+ * (src/harness). Same flags, same output; see mclock_bench for the
+ * unified driver.
  */
 
-#include <cstdio>
-#include <vector>
-
-#include "bench_common.hh"
-
-using namespace mclock;
-
-namespace {
-
-double
-runYcsbA(const std::string &policy, SimTime interval,
-         std::uint64_t ops)
-{
-    sim::Simulator sim(bench::ycsbMachine());
-    sim.setPolicy(
-        policies::makePolicy(policy,
-                             bench::benchPolicyOptions(interval)));
-    auto ycsb = bench::ycsbBenchConfig(ops);
-    workloads::YcsbDriver driver(sim, ycsb);
-    driver.load();
-    return driver.run(workloads::YcsbWorkload::A)
-        .throughputOpsPerSec();
-}
-
-}  // namespace
+#include "harness/legacy_main.hh"
 
 int
 main(int argc, char **argv)
 {
-    const std::uint64_t ops =
-        bench::argValue(argc, argv, "--ops", 1500000);
-
-    struct Point
-    {
-        const char *label;   // paper-scale interval
-        SimTime paperValue;
-    };
-    const std::vector<Point> points{{"100ms", 100_ms}, {"250ms", 250_ms},
-                                    {"500ms", 500_ms}, {"1s", 1_s},
-                                    {"5s", 5_s},       {"60s", 60_s}};
-
-    std::printf("=== Fig. 10: scan-interval sensitivity, YCSB-A "
-                "throughput (kops/s) ===\n");
-    std::printf("%-8s %14s %14s\n", "interval", "multiclock",
-                "nimble");
-    CsvWriter csv("fig10_scan_interval.csv");
-    csv.writeHeader({"interval", "multiclock_kops", "nimble_kops"});
-
-    for (const auto &p : points) {
-        const SimTime interval = bench::scaledTime(p.paperValue);
-        const double mc = runYcsbA("multiclock", interval, ops) / 1e3;
-        const double nb = runYcsbA("nimble", interval, ops) / 1e3;
-        std::printf("%-8s %14.1f %14.1f\n", p.label, mc, nb);
-        csv.writeRow({p.label, std::to_string(mc),
-                      std::to_string(nb)});
-    }
-    std::printf("\n(intervals are paper-scale labels; simulated "
-                "cadence is scaled by 1/%.0f)\n", bench::kTimeScale);
-    std::printf("wrote fig10_scan_interval.csv\n");
-    return 0;
+    return mclock::harness::legacyMain("fig10", argc, argv);
 }

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Unified experiment driver. Every paper experiment (figures, Table I,
+ * ablations, microbenchmarks) is a registered scenario; this binary
+ * lists, filters, and runs them on a thread pool with deterministic
+ * output, and maintains the golden regression fixtures.
+ *
+ *   mclock_bench --list
+ *   mclock_bench --filter fig05 --jobs 4 --out results/
+ *   mclock_bench --golden --filter ablation
+ *   mclock_bench --update-golden          # regenerate tests/golden/
+ *   mclock_bench --check-golden           # what golden_test runs
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/golden.hh"
+#include "harness/runner.hh"
+
+using namespace mclock;
+using namespace mclock::harness;
+
+namespace {
+
+void
+usage(const char *prog)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "\n"
+        "selection:\n"
+        "  --list            list registered scenarios and exit\n"
+        "  --filter STR      run only scenarios whose name contains "
+        "STR\n"
+        "\n"
+        "execution:\n"
+        "  --jobs N          worker threads (default 1; 0 = all "
+        "cores)\n"
+        "  --out DIR         artifact/manifest directory (default .)\n"
+        "  --seed N          base seed (default %llu; the default "
+        "reproduces\n"
+        "                    the legacy single-experiment binaries)\n"
+        "  --param K=V       integer scenario parameter (e.g. "
+        "ops=100000);\n"
+        "                    repeatable\n"
+        "  --golden          use the reduced-scale golden profiles\n"
+        "  --no-manifest     do not write run_manifest.json into "
+        "--out\n"
+        "  --quiet           suppress scenario text output\n"
+        "\n"
+        "golden regression:\n"
+        "  --check-golden    run golden scenarios, compare with "
+        "fixtures\n"
+        "  --update-golden   regenerate fixtures (review the diff!)\n"
+        "  --golden-dir DIR  fixture directory (default: %s)\n",
+        prog, static_cast<unsigned long long>(kDefaultSeed),
+        defaultGoldenDir().c_str());
+}
+
+void
+listScenarios()
+{
+    std::printf("%-24s %-10s %-7s %s\n", "name", "workload", "golden",
+                "title");
+    std::size_t count = 0;
+    for (const auto &sc : allScenarios()) {
+        std::printf("%-24s %-10s %-7s %s\n", sc.name.c_str(),
+                    sc.workload.c_str(),
+                    sc.goldenEligible ? "yes" : "no",
+                    sc.title.c_str());
+        ++count;
+    }
+    std::printf("\n%zu scenarios registered\n", count);
+}
+
+bool
+parseParam(const char *text, RunContext &ctx)
+{
+    const char *eq = std::strchr(text, '=');
+    if (!eq || eq == text)
+        return false;
+    char *end = nullptr;
+    const unsigned long long value = std::strtoull(eq + 1, &end, 10);
+    if (end == eq + 1 || *end != '\0')
+        return false;
+    ctx.params[std::string(text, eq)] =
+        static_cast<std::uint64_t>(value);
+    return true;
+}
+
+/** Run the golden suite; update or verify fixtures. Returns exit code. */
+int
+goldenPass(const std::string &dir, const std::string &filter,
+           unsigned jobs, bool update)
+{
+    RunnerOptions opts;
+    opts.jobs = jobs;
+    opts.context = goldenContext();
+    opts.writeArtifacts = false;
+    opts.quiet = true;
+
+    std::vector<const Scenario *> selected;
+    for (const Scenario *sc : filterScenarios(filter)) {
+        if (sc->goldenEligible)
+            selected.push_back(sc);
+    }
+    if (selected.empty()) {
+        std::fprintf(stderr, "no golden-eligible scenario matches "
+                             "'%s'\n", filter.c_str());
+        return 1;
+    }
+
+    const RunReport report = runScenarios(selected, opts);
+    int failures = 0;
+    for (std::size_t i = 0; i < report.results.size(); ++i) {
+        const auto &result = report.results[i];
+        const std::string path = goldenPath(dir, result.name);
+        if (update) {
+            GoldenFile golden;
+            golden.scenario = result.name;
+            golden.seed = opts.context.seed;
+            golden.tolerance = kGoldenDefaultTolerance;
+            golden.metrics = result.output.summary;
+            saveGolden(path, golden);
+            std::printf("updated %s (%zu metrics)\n", path.c_str(),
+                        golden.metrics.size());
+            continue;
+        }
+        GoldenFile golden;
+        std::string err;
+        if (!loadGolden(path, golden, &err)) {
+            std::printf("FAIL %-24s %s\n", result.name.c_str(),
+                        err.c_str());
+            ++failures;
+            continue;
+        }
+        const auto diffs =
+            compareGolden(golden, result.output.summary);
+        if (diffs.empty()) {
+            std::printf("ok   %-24s %zu metrics (%.2fs)\n",
+                        result.name.c_str(), golden.metrics.size(),
+                        result.wallSeconds);
+        } else {
+            std::printf("FAIL %-24s %zu mismatches\n",
+                        result.name.c_str(), diffs.size());
+            for (const auto &d : diffs)
+                std::printf("     %s\n", d.c_str());
+            ++failures;
+        }
+    }
+    if (!report.clean()) {
+        std::fprintf(stderr, "invariant violations detected\n");
+        return 1;
+    }
+    if (!update && failures) {
+        std::printf("\n%d scenario(s) diverged from golden fixtures "
+                    "in %s\n(after an intended behaviour change: "
+                    "mclock_bench --update-golden, review the diff, "
+                    "commit)\n", failures, dir.c_str());
+        return 1;
+    }
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool list = false, golden = false, manifest = true, quiet = false;
+    bool updateGolden = false, checkGolden = false;
+    std::string filter, outDir = ".";
+    std::string goldenDir = defaultGoldenDir();
+    unsigned jobs = 1;
+    RunContext ctx;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto operand = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires an operand\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--list") {
+            list = true;
+        } else if (arg == "--filter") {
+            filter = operand("--filter");
+        } else if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(
+                std::strtoul(operand("--jobs"), nullptr, 10));
+        } else if (arg == "--out") {
+            outDir = operand("--out");
+        } else if (arg == "--seed") {
+            ctx.seed = std::strtoull(operand("--seed"), nullptr, 10);
+        } else if (arg == "--param") {
+            const char *p = operand("--param");
+            if (!parseParam(p, ctx)) {
+                std::fprintf(stderr, "bad --param '%s' (want K=V with "
+                                     "integer V)\n", p);
+                return 2;
+            }
+        } else if (arg == "--golden") {
+            golden = true;
+        } else if (arg == "--manifest") {
+            manifest = true;
+        } else if (arg == "--no-manifest") {
+            manifest = false;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--update-golden") {
+            updateGolden = true;
+        } else if (arg == "--check-golden") {
+            checkGolden = true;
+        } else if (arg == "--golden-dir") {
+            goldenDir = operand("--golden-dir");
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    if (list) {
+        listScenarios();
+        return 0;
+    }
+    if (updateGolden || checkGolden)
+        return goldenPass(goldenDir, filter, jobs, updateGolden);
+
+    const auto selected = filterScenarios(filter);
+    if (selected.empty()) {
+        std::fprintf(stderr, "no scenario matches '%s' (see --list)\n",
+                     filter.c_str());
+        return 1;
+    }
+
+    RunnerOptions opts;
+    opts.jobs = jobs;
+    opts.outDir = outDir;
+    opts.writeManifest = manifest;
+    opts.quiet = quiet;
+    opts.context = ctx;
+    opts.context.golden = golden;
+
+    const RunReport report = runScenarios(selected, opts);
+    if (!quiet) {
+        std::fprintf(stderr, "\n%zu scenario(s), %.2fs wall\n",
+                     report.results.size(), report.wallSeconds);
+    }
+    return report.clean() ? 0 : 1;
+}

@@ -1,38 +1,14 @@
 /**
  * @file
- * Table I — Comparison of memory tiering techniques, generated from
- * each policy's features() metadata.
+ * Compatibility wrapper: Table I now lives in the scenario registry
+ * (src/harness). Same flags, same output; see mclock_bench for the
+ * unified driver.
  */
 
-#include <cstdio>
-#include <memory>
-#include <vector>
-
-#include "base/units.hh"
-#include "policies/factory.hh"
-#include "policies/policy.hh"
-
-using namespace mclock;
+#include "harness/legacy_main.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("=== Table I: comparison of tiering techniques ===\n");
-    std::printf("%-18s %-22s %-26s %-11s %-6s %-9s %-10s %-18s %-s\n",
-                "Tiering", "Tracking", "Promotion", "Demotion", "NUMA",
-                "SpaceOvh", "General", "Evaluation", "Key insight");
-    for (const auto &name :
-         std::vector<std::string>{"static", "autonuma", "at-cpm",
-                                  "at-opm", "nimble", "amp-lru",
-                                  "multiclock", "memory-mode"}) {
-        const auto policy = policies::makePolicy(name, 1_MiB);
-        const auto row = policy->features();
-        std::printf("%-18s %-22s %-26s %-11s %-6s %-9s %-10s %-18s %-s\n",
-                    row.tiering.c_str(), row.tracking.c_str(),
-                    row.promotion.c_str(), row.demotion.c_str(),
-                    row.numaAware.c_str(), row.spaceOverhead.c_str(),
-                    row.generality.c_str(), row.evaluation.c_str(),
-                    row.keyInsight.c_str());
-    }
-    return 0;
+    return mclock::harness::legacyMain("tab01", argc, argv);
 }

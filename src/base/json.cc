@@ -1,0 +1,385 @@
+#include "base/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mclock {
+
+namespace {
+
+const Json kNull;
+
+/** Strict recursive-descent parser over a char range. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *err)
+        : p_(text.c_str()), end_(text.c_str() + text.size()), err_(err)
+    {
+    }
+
+    Json
+    parseDocument()
+    {
+        Json v = parseValue();
+        skipWs();
+        if (!failed_ && p_ != end_)
+            fail("trailing characters after document");
+        return failed_ ? Json() : v;
+    }
+
+  private:
+    void
+    fail(const char *msg)
+    {
+        if (!failed_ && err_)
+            *err_ = msg;
+        failed_ = true;
+    }
+
+    void
+    skipWs()
+    {
+        while (p_ != end_ &&
+               (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r'))
+            ++p_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (p_ != end_ && *p_ == c) {
+            ++p_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const char *q = p_;
+        for (const char *w = word; *w; ++w, ++q) {
+            if (q == end_ || *q != *w)
+                return false;
+        }
+        p_ = q;
+        return true;
+    }
+
+    Json
+    parseValue()
+    {
+        skipWs();
+        if (p_ == end_) {
+            fail("unexpected end of input");
+            return Json();
+        }
+        switch (*p_) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"':
+            return Json(parseString());
+          case 't':
+            if (literal("true"))
+                return Json(true);
+            break;
+          case 'f':
+            if (literal("false"))
+                return Json(false);
+            break;
+          case 'n':
+            if (literal("null"))
+                return Json();
+            break;
+          default:
+            return parseNumber();
+        }
+        fail("invalid value");
+        return Json();
+    }
+
+    Json
+    parseObject()
+    {
+        ++p_;  // '{'
+        Json::Object obj;
+        skipWs();
+        if (consume('}'))
+            return Json(std::move(obj));
+        while (!failed_) {
+            skipWs();
+            if (p_ == end_ || *p_ != '"') {
+                fail("expected object key");
+                break;
+            }
+            std::string key = parseString();
+            if (!consume(':')) {
+                fail("expected ':' after object key");
+                break;
+            }
+            obj[key] = parseValue();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                break;
+            fail("expected ',' or '}' in object");
+        }
+        return Json(std::move(obj));
+    }
+
+    Json
+    parseArray()
+    {
+        ++p_;  // '['
+        Json::Array arr;
+        skipWs();
+        if (consume(']'))
+            return Json(std::move(arr));
+        while (!failed_) {
+            arr.push_back(parseValue());
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                break;
+            fail("expected ',' or ']' in array");
+        }
+        return Json(std::move(arr));
+    }
+
+    std::string
+    parseString()
+    {
+        ++p_;  // '"'
+        std::string out;
+        while (p_ != end_ && *p_ != '"') {
+            char c = *p_++;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (p_ == end_)
+                break;
+            char esc = *p_++;
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                // Basic-multilingual-plane escapes only; enough for the
+                // ASCII content the harness writes.
+                unsigned code = 0;
+                for (int i = 0; i < 4 && p_ != end_; ++i) {
+                    char h = *p_++;
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape");
+                }
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                fail("bad escape character");
+            }
+        }
+        if (p_ == end_)
+            fail("unterminated string");
+        else
+            ++p_;  // closing '"'
+        return out;
+    }
+
+    Json
+    parseNumber()
+    {
+        char *numEnd = nullptr;
+        const double v = std::strtod(p_, &numEnd);
+        if (numEnd == p_) {
+            fail("invalid number");
+            return Json();
+        }
+        p_ = numEnd;
+        return Json(v);
+    }
+
+    const char *p_;
+    const char *end_;
+    std::string *err_;
+    bool failed_ = false;
+};
+
+}  // namespace
+
+const Json &
+Json::operator[](const std::string &key) const
+{
+    if (type_ == Type::Object) {
+        auto it = obj_.find(key);
+        if (it != obj_.end())
+            return it->second;
+    }
+    return kNull;
+}
+
+void
+Json::set(const std::string &key, Json value)
+{
+    if (type_ != Type::Object) {
+        *this = Json(Object{});
+    }
+    obj_[key] = std::move(value);
+}
+
+void
+Json::push(Json value)
+{
+    if (type_ != Type::Array) {
+        *this = Json(Array{});
+    }
+    arr_.push_back(std::move(value));
+}
+
+void
+Json::dumpString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    const std::string pad(static_cast<std::size_t>(indent) *
+                              static_cast<std::size_t>(depth + 1),
+                          ' ');
+    const std::string closePad(static_cast<std::size_t>(indent) *
+                                   static_cast<std::size_t>(depth),
+                               ' ');
+    const char *nl = indent > 0 ? "\n" : "";
+    switch (type_) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Type::Number: {
+        char buf[32];
+        if (std::isfinite(num_) &&
+            num_ == static_cast<double>(static_cast<long long>(num_)) &&
+            std::fabs(num_) < 1e15) {
+            std::snprintf(buf, sizeof(buf), "%lld",
+                          static_cast<long long>(num_));
+        } else {
+            std::snprintf(buf, sizeof(buf), "%.17g", num_);
+        }
+        out += buf;
+        break;
+      }
+      case Type::String:
+        dumpString(out, str_);
+        break;
+      case Type::Array: {
+        if (arr_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        out += nl;
+        for (std::size_t i = 0; i < arr_.size(); ++i) {
+            out += pad;
+            arr_[i].dumpTo(out, indent, depth + 1);
+            if (i + 1 < arr_.size())
+                out += ',';
+            out += nl;
+        }
+        out += closePad;
+        out += ']';
+        break;
+      }
+      case Type::Object: {
+        if (obj_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        out += nl;
+        std::size_t i = 0;
+        for (const auto &[key, value] : obj_) {
+            out += pad;
+            dumpString(out, key);
+            out += indent > 0 ? ": " : ":";
+            value.dumpTo(out, indent, depth + 1);
+            if (++i < obj_.size())
+                out += ',';
+            out += nl;
+        }
+        out += closePad;
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+Json
+Json::parse(const std::string &text, std::string *err)
+{
+    Parser parser(text, err);
+    return parser.parseDocument();
+}
+
+}  // namespace mclock

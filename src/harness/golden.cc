@@ -1,0 +1,138 @@
+#include "harness/golden.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "base/json.hh"
+#include "base/logging.hh"
+
+#ifndef MCLOCK_GOLDEN_DIR
+#define MCLOCK_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace mclock {
+namespace harness {
+
+std::string
+defaultGoldenDir()
+{
+    return MCLOCK_GOLDEN_DIR;
+}
+
+std::string
+goldenPath(const std::string &dir, const std::string &scenario)
+{
+    return dir + "/" + scenario + ".json";
+}
+
+bool
+loadGolden(const std::string &path, GoldenFile &out, std::string *err)
+{
+    std::ifstream f(path);
+    if (!f) {
+        if (err)
+            *err = "cannot open '" + path + "'";
+        return false;
+    }
+    std::stringstream buf;
+    buf << f.rdbuf();
+    std::string parseErr;
+    const Json doc = Json::parse(buf.str(), &parseErr);
+    if (!doc.isObject()) {
+        if (err)
+            *err = "malformed golden file '" + path + "': " + parseErr;
+        return false;
+    }
+    out.scenario = doc["scenario"].asString();
+    out.seed = doc["seed"].isNumber()
+                   ? static_cast<std::uint64_t>(doc["seed"].asNumber())
+                   : kDefaultSeed;
+    out.tolerance = doc["tolerance"].isNumber()
+                        ? doc["tolerance"].asNumber()
+                        : kGoldenDefaultTolerance;
+    out.metrics.clear();
+    if (doc["metrics"].isObject()) {
+        for (const auto &[key, value] : doc["metrics"].asObject()) {
+            if (value.isNumber())
+                out.metrics[key] = value.asNumber();
+        }
+    }
+    return true;
+}
+
+void
+saveGolden(const std::string &path, const GoldenFile &golden)
+{
+    Json metrics{Json::Object{}};
+    for (const auto &[key, value] : golden.metrics)
+        metrics.set(key, Json(value));
+
+    Json doc{Json::Object{}};
+    doc.set("scenario", golden.scenario);
+    doc.set("seed", static_cast<double>(golden.seed));
+    doc.set("tolerance", golden.tolerance);
+    doc.set("metrics", std::move(metrics));
+
+    std::ofstream f(path);
+    if (!f)
+        MCLOCK_FATAL("cannot write golden file '%s'", path.c_str());
+    f << doc.dump(2) << "\n";
+}
+
+std::vector<std::string>
+compareGolden(const GoldenFile &golden, const MetricMap &fresh)
+{
+    std::vector<std::string> out;
+    char buf[256];
+    for (const auto &[key, expected] : golden.metrics) {
+        auto it = fresh.find(key);
+        if (it == fresh.end()) {
+            out.push_back("missing metric '" + key + "'");
+            continue;
+        }
+        const double actual = it->second;
+        const double slack =
+            golden.tolerance * std::max(1.0, std::fabs(expected));
+        if (std::fabs(actual - expected) > slack) {
+            std::snprintf(buf, sizeof(buf),
+                          "metric '%s': expected %.17g, got %.17g "
+                          "(tolerance %.3g)",
+                          key.c_str(), expected, actual,
+                          golden.tolerance);
+            out.emplace_back(buf);
+        }
+    }
+    for (const auto &[key, value] : fresh) {
+        (void)value;
+        if (!golden.metrics.count(key)) {
+            out.push_back("unexpected new metric '" + key +
+                          "' (regenerate with --update-golden)");
+        }
+    }
+    return out;
+}
+
+RunContext
+goldenContext()
+{
+    RunContext ctx;
+    ctx.seed = kDefaultSeed;
+    ctx.golden = true;
+    return ctx;
+}
+
+std::vector<std::string>
+goldenScenarioNames()
+{
+    std::vector<std::string> names;
+    for (const auto &sc : allScenarios()) {
+        if (sc.goldenEligible)
+            names.push_back(sc.name);
+    }
+    return names;
+}
+
+}  // namespace harness
+}  // namespace mclock

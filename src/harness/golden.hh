@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Golden-run regression facility.
+ *
+ * Each golden-eligible scenario has a pinned-seed, reduced-scale run
+ * whose metric summary is checked into tests/golden/<name>.json. The
+ * golden_test ctest target re-runs those scenarios and compares every
+ * metric against the fixture with a relative tolerance, so any
+ * unintended behaviour change in the PFRA/MULTI-CLOCK machinery (or a
+ * policy, workload generator, or the metrics layer) fails CI.
+ *
+ * Regeneration flow (documented in README): after an intended
+ * behaviour change, run `mclock_bench --update-golden`, review the
+ * fixture diff, and commit it alongside the change.
+ */
+
+#ifndef MCLOCK_HARNESS_GOLDEN_HH_
+#define MCLOCK_HARNESS_GOLDEN_HH_
+
+#include <string>
+#include <vector>
+
+#include "harness/scenario.hh"
+
+namespace mclock {
+namespace harness {
+
+/** Default relative tolerance for metric comparison. */
+constexpr double kGoldenDefaultTolerance = 1e-6;
+
+/** Parsed golden fixture. */
+struct GoldenFile
+{
+    std::string scenario;
+    std::uint64_t seed = kDefaultSeed;
+    double tolerance = kGoldenDefaultTolerance;
+    MetricMap metrics;
+};
+
+/** The compiled-in fixture directory (tests/golden of this source
+ *  tree); overridable at the call sites via an explicit directory. */
+std::string defaultGoldenDir();
+
+/** Fixture path for a scenario. */
+std::string goldenPath(const std::string &dir,
+                       const std::string &scenario);
+
+/**
+ * Load a fixture.
+ * @return false (with @p err set) when missing or malformed
+ */
+bool loadGolden(const std::string &path, GoldenFile &out,
+                std::string *err);
+
+/** Serialize and write a fixture; fatal on I/O failure. */
+void saveGolden(const std::string &path, const GoldenFile &golden);
+
+/**
+ * Compare a fresh summary against a fixture.
+ * @return one message per mismatch (missing, extra, or out-of-tolerance
+ *         metric); empty when the run matches
+ */
+std::vector<std::string> compareGolden(const GoldenFile &golden,
+                                       const MetricMap &fresh);
+
+/** The golden RunContext (pinned seed, golden profile). */
+RunContext goldenContext();
+
+/** Names of every golden-eligible scenario, in registry order. */
+std::vector<std::string> goldenScenarioNames();
+
+}  // namespace harness
+}  // namespace mclock
+
+#endif  // MCLOCK_HARNESS_GOLDEN_HH_

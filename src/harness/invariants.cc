@@ -1,0 +1,135 @@
+#include "harness/invariants.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+#include "pfra/lru_lists.hh"
+#include "sim/memory_system.hh"
+#include "sim/node.hh"
+#include "sim/simulator.hh"
+#include "vm/address_space.hh"
+#include "vm/page.hh"
+
+namespace mclock {
+namespace harness {
+
+namespace {
+
+void
+violation(std::vector<std::string> &out, const char *fmt, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    out.emplace_back(buf);
+}
+
+}  // namespace
+
+std::vector<std::string>
+collectViolations(sim::Simulator &sim)
+{
+    std::vector<std::string> out;
+    auto &mem = sim.memory();
+    const std::size_t numNodes = mem.numNodes();
+
+    // Pass 1: walk the address space, counting residency per node.
+    std::vector<std::size_t> residentPerNode(numNodes, 0);
+    std::size_t resident = 0;
+    sim.space().forEachPage([&](Page *pg) {
+        if (!pg->resident()) {
+            if (pg->onLru()) {
+                violation(out,
+                          "non-resident page vpn=%llu on list %d",
+                          static_cast<unsigned long long>(pg->vpn()),
+                          static_cast<int>(pg->list()));
+            }
+            return;
+        }
+        ++resident;
+        const auto node = static_cast<std::size_t>(pg->node());
+        if (node >= numNodes) {
+            // Single-residency: the one node field must name a real
+            // node; an out-of-range id would mean a torn placement.
+            violation(out, "resident page vpn=%llu on bogus node %zu",
+                      static_cast<unsigned long long>(pg->vpn()), node);
+            return;
+        }
+        ++residentPerNode[node];
+    });
+
+    // Pass 2: per-node frame accounting and occupancy bounds.
+    std::size_t onLists = 0;
+    mem.forEachNode([&](sim::Node &node) {
+        const auto id = static_cast<std::size_t>(node.id());
+        if (node.usedFrames() > node.totalFrames()) {
+            violation(out, "node %zu occupancy %zu exceeds capacity %zu",
+                      id, node.usedFrames(), node.totalFrames());
+        }
+        if (node.usedFrames() != residentPerNode[id]) {
+            violation(out,
+                      "node %zu frame leak: %zu frames used but %zu "
+                      "resident pages placed",
+                      id, node.usedFrames(), residentPerNode[id]);
+        }
+        onLists += node.lists().totalPages();
+
+        // Pass 3: list discipline — tags match, anonymity matches the
+        // list family, and promote-list pages carry PagePromote (the
+        // selection evidence shrink_promote_list consumes).
+        for (int k = 1; k < kNumLruLists; ++k) {
+            const auto kind = static_cast<LruListKind>(k);
+            for (Page *pg : node.lists().list(kind)) {
+                if (pg->list() != kind) {
+                    violation(out,
+                              "page vpn=%llu on list %d but tagged %d",
+                              static_cast<unsigned long long>(pg->vpn()),
+                              k, static_cast<int>(pg->list()));
+                }
+                if (pg->node() != node.id()) {
+                    violation(out,
+                              "page vpn=%llu on node %zu's list but "
+                              "placed on node %d",
+                              static_cast<unsigned long long>(pg->vpn()),
+                              id, static_cast<int>(pg->node()));
+                }
+                if (kind != LruListKind::Unevictable) {
+                    const bool anonList =
+                        kind == LruListKind::InactiveAnon ||
+                        kind == LruListKind::ActiveAnon ||
+                        kind == LruListKind::PromoteAnon;
+                    if (pg->isAnon() != anonList) {
+                        violation(out,
+                                  "page vpn=%llu anonymity mismatch on "
+                                  "list %d",
+                                  static_cast<unsigned long long>(
+                                      pg->vpn()),
+                                  k);
+                    }
+                }
+                if (isPromoteList(kind) && !pg->promoteFlag()) {
+                    violation(out,
+                              "page vpn=%llu on promote list without "
+                              "PagePromote set",
+                              static_cast<unsigned long long>(pg->vpn()));
+                }
+            }
+        }
+    });
+
+    // A resident page sits on exactly one list; isolated (mid-migration)
+    // pages never survive to a quiescent point.
+    if (onLists != resident) {
+        violation(out,
+                  "list membership mismatch: %zu pages on lists, %zu "
+                  "resident",
+                  onLists, resident);
+    }
+    return out;
+}
+
+}  // namespace harness
+}  // namespace mclock

@@ -1,0 +1,47 @@
+#include "harness/legacy_main.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/runner.hh"
+
+namespace mclock {
+namespace harness {
+
+int
+legacyMain(const char *name, int argc, char **argv)
+{
+    const Scenario *sc = findScenario(name);
+    if (!sc) {
+        std::fprintf(stderr, "unknown scenario '%s'\n", name);
+        return 1;
+    }
+
+    RunnerOptions opts;
+    opts.jobs = 1;
+    opts.outDir = ".";
+
+    // Legacy flags are all "--key value" integer pairs; forward them
+    // as params (the scenarios look up "ops", "seconds", ...).
+    for (int i = 1; i + 1 < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--", 2) != 0)
+            continue;
+        char *end = nullptr;
+        const unsigned long long value =
+            std::strtoull(argv[i + 1], &end, 10);
+        if (end == argv[i + 1] || *end != '\0')
+            continue;  // not an integer operand; ignore like argValue()
+        opts.context.params[arg + 2] =
+            static_cast<std::uint64_t>(value);
+        ++i;
+    }
+
+    const ScenarioResult result = runScenario(name, opts);
+    return result.output.violations.empty() ? 0 : 1;
+}
+
+}  // namespace harness
+}  // namespace mclock

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Compatibility entry point for the pre-harness bench binaries.
+ *
+ * Each legacy binary (fig05_ycsb_tiering, ablation_llc, ...) is now a
+ * thin main that forwards to legacyMain(), which maps the historical
+ * flags (--ops N, --seconds N, --window-s N, --trials N, --workload N)
+ * onto the scenario's RunContext params and runs it single-threaded
+ * with artifacts written to the current directory — byte-identical
+ * stdout and CSV output to the original binaries.
+ */
+
+#ifndef MCLOCK_HARNESS_LEGACY_MAIN_HH_
+#define MCLOCK_HARNESS_LEGACY_MAIN_HH_
+
+namespace mclock {
+namespace harness {
+
+/** Run scenario @p name with legacy flag parsing; returns exit code. */
+int legacyMain(const char *name, int argc, char **argv);
+
+}  // namespace harness
+}  // namespace mclock
+
+#endif  // MCLOCK_HARNESS_LEGACY_MAIN_HH_

@@ -1,0 +1,162 @@
+#include "harness/manifest.hh"
+
+#include <chrono>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+
+#include "base/json.hh"
+#include "base/logging.hh"
+
+namespace mclock {
+namespace harness {
+
+namespace {
+
+std::string
+readFileTrimmed(const std::filesystem::path &path)
+{
+    std::ifstream f(path);
+    if (!f)
+        return "";
+    std::string line;
+    std::getline(f, line);
+    while (!line.empty() &&
+           (line.back() == '\n' || line.back() == '\r' ||
+            line.back() == ' '))
+        line.pop_back();
+    return line;
+}
+
+std::string
+isoTimestampUtc()
+{
+    const auto now = std::chrono::system_clock::now();
+    const std::time_t t = std::chrono::system_clock::to_time_t(now);
+    std::tm tm{};
+    gmtime_r(&t, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
+
+void
+hashBytes(std::uint64_t &h, const std::string &s)
+{
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    h ^= 0xff;
+    h *= 0x100000001b3ull;  // field separator
+}
+
+}  // namespace
+
+std::string
+readGitSha(const std::string &startDir)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::path dir = fs::absolute(startDir, ec);
+    while (!dir.empty()) {
+        const fs::path gitDir = dir / ".git";
+        if (fs::exists(gitDir, ec)) {
+            const std::string head = readFileTrimmed(gitDir / "HEAD");
+            if (head.rfind("ref: ", 0) == 0) {
+                const std::string ref = head.substr(5);
+                const std::string sha = readFileTrimmed(gitDir / ref);
+                if (!sha.empty())
+                    return sha;
+                // Packed refs fallback: "<sha> <ref>" lines.
+                std::ifstream packed(gitDir / "packed-refs");
+                std::string line;
+                while (std::getline(packed, line)) {
+                    if (line.size() > 41 &&
+                        line.compare(41, std::string::npos, ref) == 0)
+                        return line.substr(0, 40);
+                }
+                return "unknown";
+            }
+            return head.empty() ? "unknown" : head;  // detached HEAD
+        }
+        const fs::path parent = dir.parent_path();
+        if (parent == dir)
+            break;
+        dir = parent;
+    }
+    return "unknown";
+}
+
+std::uint64_t
+configHash(const Scenario &scenario, const RunContext &ctx)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+    hashBytes(h, scenario.name);
+    hashBytes(h, scenario.workload);
+    for (const auto &p : scenario.policies)
+        hashBytes(h, p);
+    hashBytes(h, std::to_string(ctx.seed));
+    hashBytes(h, ctx.golden ? "golden" : "full");
+    for (const auto &[key, value] : ctx.params) {
+        hashBytes(h, key);
+        hashBytes(h, std::to_string(value));
+    }
+    return h;
+}
+
+void
+writeManifest(const RunReport &report, const RunnerOptions &opts)
+{
+    char hashBuf[24];
+    Json scenarios{Json::Array{}};
+    for (const auto &r : report.results) {
+        const Scenario *sc = findScenario(r.name);
+        Json entry{Json::Object{}};
+        entry.set("name", r.name);
+        if (sc) {
+            std::snprintf(hashBuf, sizeof(hashBuf), "%016llx",
+                          static_cast<unsigned long long>(
+                              configHash(*sc, opts.context)));
+            entry.set("config_hash", std::string(hashBuf));
+            entry.set("workload", sc->workload);
+        }
+        entry.set("units", static_cast<double>(r.units));
+        entry.set("wall_seconds", r.wallSeconds);
+        entry.set("metrics", static_cast<double>(r.output.summary.size()));
+        entry.set("violations",
+                  static_cast<double>(r.output.violations.size()));
+        Json artifacts{Json::Array{}};
+        for (const auto &a : r.output.artifacts)
+            artifacts.push(Json(a.filename));
+        entry.set("artifacts", std::move(artifacts));
+        scenarios.push(std::move(entry));
+    }
+
+    Json manifest{Json::Object{}};
+    // The SHA identifies the code, not the results directory: prefer
+    // the output dir (results checked into some repo), but fall back
+    // to the source tree this binary was built from.
+    std::string sha = readGitSha(opts.outDir);
+#ifdef MCLOCK_SOURCE_DIR
+    if (sha == "unknown")
+        sha = readGitSha(MCLOCK_SOURCE_DIR);
+#endif
+    manifest.set("git_sha", sha);
+    manifest.set("timestamp_utc", isoTimestampUtc());
+    manifest.set("seed", static_cast<double>(opts.context.seed));
+    manifest.set("golden_profile", Json(opts.context.golden));
+    manifest.set("jobs", static_cast<double>(opts.jobs));
+    manifest.set("wall_seconds", report.wallSeconds);
+    manifest.set("scenarios", std::move(scenarios));
+
+    const auto path =
+        std::filesystem::path(opts.outDir) / "run_manifest.json";
+    std::ofstream f(path);
+    if (!f)
+        MCLOCK_FATAL("cannot write manifest '%s'", path.string().c_str());
+    f << manifest.dump(2) << "\n";
+}
+
+}  // namespace harness
+}  // namespace mclock

@@ -1,0 +1,206 @@
+#include "harness/runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+
+#include "base/logging.hh"
+#include "harness/manifest.hh"
+
+namespace mclock {
+namespace harness {
+
+namespace {
+
+/** Fixed-size pool draining a closed work queue. */
+class ThreadPool
+{
+  public:
+    explicit ThreadPool(unsigned workers)
+    {
+        for (unsigned i = 0; i < workers; ++i)
+            threads_.emplace_back([this] { workerLoop(); });
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            closed_ = true;
+        }
+        cv_.notify_all();
+        for (auto &t : threads_)
+            t.join();
+    }
+
+    void
+    submit(std::function<void()> task)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            queue_.push(std::move(task));
+            ++pending_;
+        }
+        cv_.notify_one();
+    }
+
+    /** Block until every submitted task has finished. */
+    void
+    drain()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        done_.wait(lock, [this] { return pending_ == 0; });
+    }
+
+  private:
+    void
+    workerLoop()
+    {
+        for (;;) {
+            std::function<void()> task;
+            {
+                std::unique_lock<std::mutex> lock(mu_);
+                cv_.wait(lock,
+                         [this] { return closed_ || !queue_.empty(); });
+                if (queue_.empty())
+                    return;  // closed and drained
+                task = std::move(queue_.front());
+                queue_.pop();
+            }
+            task();
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                if (--pending_ == 0)
+                    done_.notify_all();
+            }
+        }
+    }
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::condition_variable done_;
+    std::queue<std::function<void()>> queue_;
+    std::size_t pending_ = 0;
+    bool closed_ = false;
+    std::vector<std::thread> threads_;
+};
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+}  // namespace
+
+RunReport
+runScenarios(const std::vector<const Scenario *> &scenarios,
+             const RunnerOptions &opts)
+{
+    const auto runStart = std::chrono::steady_clock::now();
+
+    unsigned jobs = opts.jobs;
+    if (jobs == 0)
+        jobs = std::max(1u, std::thread::hardware_concurrency());
+
+    // Expand everything up front so units from different scenarios
+    // share the pool (the slowest scenario no longer serializes).
+    struct Expanded
+    {
+        const Scenario *scenario;
+        std::vector<RunUnit> units;
+        std::vector<RunRecord> records;
+        std::chrono::steady_clock::time_point start;
+        double wallSeconds = 0.0;
+    };
+    std::vector<Expanded> expanded;
+    expanded.reserve(scenarios.size());
+    for (const Scenario *sc : scenarios) {
+        Expanded e;
+        e.scenario = sc;
+        e.units = sc->expand(opts.context);
+        e.records.resize(e.units.size());
+        expanded.push_back(std::move(e));
+    }
+
+    {
+        ThreadPool pool(jobs);
+        for (auto &e : expanded) {
+            e.start = std::chrono::steady_clock::now();
+            for (std::size_t u = 0; u < e.units.size(); ++u) {
+                RunUnit *unit = &e.units[u];
+                RunRecord *slot = &e.records[u];
+                const RunContext *ctx = &opts.context;
+                pool.submit([unit, slot, ctx] {
+                    *slot = unit->run(*ctx);
+                });
+            }
+        }
+        pool.drain();
+    }
+
+    RunReport report;
+    for (auto &e : expanded) {
+        ScenarioResult result;
+        result.name = e.scenario->name;
+        result.units = e.units.size();
+        result.output = e.scenario->reduce(opts.context, e.records);
+        result.wallSeconds = secondsSince(e.start);
+        if (!opts.quiet) {
+            std::fputs(result.output.text.c_str(), stdout);
+            std::fflush(stdout);
+        }
+        report.results.push_back(std::move(result));
+    }
+
+    if (opts.writeArtifacts) {
+        std::error_code ec;
+        std::filesystem::create_directories(opts.outDir, ec);
+        for (const auto &r : report.results) {
+            for (const auto &a : r.output.artifacts) {
+                const auto path =
+                    std::filesystem::path(opts.outDir) / a.filename;
+                std::ofstream f(path);
+                if (!f) {
+                    MCLOCK_FATAL("cannot write artifact '%s'",
+                                 path.string().c_str());
+                }
+                f << a.contents;
+            }
+        }
+    }
+
+    for (const auto &r : report.results) {
+        for (const auto &v : r.output.violations) {
+            std::fprintf(stderr, "INVARIANT VIOLATION [%s] %s\n",
+                         r.name.c_str(), v.c_str());
+        }
+    }
+
+    report.wallSeconds = secondsSince(runStart);
+    if (opts.writeManifest)
+        writeManifest(report, opts);
+    return report;
+}
+
+ScenarioResult
+runScenario(const std::string &name, const RunnerOptions &opts)
+{
+    const Scenario *sc = findScenario(name);
+    if (!sc)
+        MCLOCK_FATAL("unknown scenario '%s'", name.c_str());
+    RunReport report = runScenarios({sc}, opts);
+    return std::move(report.results.front());
+}
+
+}  // namespace harness
+}  // namespace mclock

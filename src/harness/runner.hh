@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Parallel scenario runner.
+ *
+ * Expands the selected scenarios into run units, executes all units on
+ * a fixed-size thread pool (each unit owns its Simulator, so units are
+ * embarrassingly parallel), then reduces every scenario single-threaded
+ * in registry order. Results are therefore bit-identical for any job
+ * count, including 1.
+ */
+
+#ifndef MCLOCK_HARNESS_RUNNER_HH_
+#define MCLOCK_HARNESS_RUNNER_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/scenario.hh"
+
+namespace mclock {
+namespace harness {
+
+/** Runner configuration. */
+struct RunnerOptions
+{
+    unsigned jobs = 1;          ///< worker threads (0 = hardware)
+    std::string outDir = ".";   ///< where artifacts + manifest land
+    bool writeArtifacts = true;
+    bool writeManifest = false;
+    bool quiet = false;         ///< suppress scenario text on stdout
+    RunContext context;
+};
+
+/** One scenario's outcome, in selection order. */
+struct ScenarioResult
+{
+    std::string name;
+    ScenarioOutput output;
+    double wallSeconds = 0.0;   ///< host time spent in this scenario
+    std::size_t units = 0;
+};
+
+/** Whole-run outcome. */
+struct RunReport
+{
+    std::vector<ScenarioResult> results;
+    double wallSeconds = 0.0;
+    bool
+    clean() const
+    {
+        for (const auto &r : results) {
+            if (!r.output.violations.empty())
+                return false;
+        }
+        return true;
+    }
+};
+
+/**
+ * Execute @p scenarios under @p opts. Prints each scenario's text (in
+ * order) unless quiet, writes artifacts into opts.outDir, and writes a
+ * run manifest when requested.
+ */
+RunReport runScenarios(const std::vector<const Scenario *> &scenarios,
+                       const RunnerOptions &opts);
+
+/** Convenience: run one scenario by name (fatal if unknown). */
+ScenarioResult runScenario(const std::string &name,
+                           const RunnerOptions &opts);
+
+}  // namespace harness
+}  // namespace mclock
+
+#endif  // MCLOCK_HARNESS_RUNNER_HH_

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Scenario model for the experiment harness.
+ *
+ * Every experiment (paper figure, table, or ablation) is described as
+ * data: a Scenario names the workload, the policies compared, the
+ * default seed, and two functions — expand(), which turns the scenario
+ * into independent RunUnits (one Simulator instance each, safe to
+ * execute on any thread), and reduce(), which assembles the units'
+ * records into human-readable text, CSV artifacts, and a flat metric
+ * summary used by the golden-run regression suite.
+ *
+ * Determinism contract: a unit must derive all randomness from the
+ * RunContext (seed + params), must not touch global mutable state, and
+ * must not perform I/O — artifacts are returned in memory and written
+ * by the runner after all units complete, in registry order.
+ */
+
+#ifndef MCLOCK_HARNESS_SCENARIO_HH_
+#define MCLOCK_HARNESS_SCENARIO_HH_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mclock {
+namespace harness {
+
+/** Flat named metrics produced by one run unit (or one scenario). */
+using MetricMap = std::map<std::string, double>;
+
+/** The default context seed; scenarios keep their legacy-identical
+ *  sub-seeds (workload/heatmap defaults) when it is unchanged. */
+constexpr std::uint64_t kDefaultSeed = 42;
+
+/** Options applied to one scenario execution. */
+struct RunContext
+{
+    /** Base seed; kDefaultSeed reproduces the legacy binaries. */
+    std::uint64_t seed = kDefaultSeed;
+
+    /** Golden profile: reduced-scale parameters for regression runs. */
+    bool golden = false;
+
+    /** Named overrides from the CLI (--ops, --param k=v, ...). */
+    std::map<std::string, std::uint64_t> params;
+
+    /** Override lookup with default. */
+    std::uint64_t
+    param(const std::string &name, std::uint64_t dflt) const
+    {
+        auto it = params.find(name);
+        return it == params.end() ? dflt : it->second;
+    }
+
+    /**
+     * Seed for a scenario sub-stream. At the default base seed this is
+     * exactly @p legacyDefault, so default runs are bit-identical to
+     * the pre-harness binaries; any other base seed derives an
+     * independent stream per @p slot (splitmix64 finalizer).
+     */
+    std::uint64_t
+    derivedSeed(std::uint64_t slot, std::uint64_t legacyDefault) const
+    {
+        if (seed == kDefaultSeed)
+            return legacyDefault;
+        std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (slot + 1);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+};
+
+/** A file the harness should write into the output directory. */
+struct Artifact
+{
+    std::string filename;
+    std::string contents;
+};
+
+/** What one unit produced. */
+struct RunRecord
+{
+    /** Flat metrics; keys become "<unit>.<key>" in the summary. */
+    MetricMap metrics;
+
+    /** Human-readable output, concatenated by the default reduce. */
+    std::string text;
+
+    /** CSV files owned by this unit (e.g. fig01's per-profile files). */
+    std::vector<Artifact> artifacts;
+
+    /** Invariant violations found after the run (must be empty). */
+    std::vector<std::string> violations;
+};
+
+/** One independently executable simulation; owns its Simulator. */
+struct RunUnit
+{
+    /** Stable name used as the metric prefix (e.g. "multiclock"). */
+    std::string name;
+    std::function<RunRecord(const RunContext &)> run;
+};
+
+/** Everything a scenario execution yields. */
+struct ScenarioOutput
+{
+    std::string text;
+    std::vector<Artifact> artifacts;
+    /** Golden-comparable summary (union of unit metrics + derived). */
+    MetricMap summary;
+    std::vector<std::string> violations;
+};
+
+/** One registered experiment. */
+struct Scenario
+{
+    std::string name;      ///< short id ("fig05", "ablation_llc", ...)
+    std::string title;     ///< one-line description for --list
+    std::string workload;  ///< workload family ("ycsb", "gapbs", ...)
+    std::vector<std::string> policies;  ///< policies compared (metadata)
+
+    /** Included in the golden regression suite (deterministic only). */
+    bool goldenEligible = true;
+
+    std::function<std::vector<RunUnit>(const RunContext &)> expand;
+
+    /**
+     * Assemble unit records (in expand order) into the final output.
+     * Runs single-threaded after every unit of the scenario finished.
+     */
+    std::function<ScenarioOutput(const RunContext &,
+                                 const std::vector<RunRecord> &)>
+        reduce;
+};
+
+/**
+ * Default reduce: concatenates unit texts, forwards artifacts, and
+ * merges metrics as "<unit>.<metric>". Scenario reducers typically call
+ * this first and then add their cross-unit table/CSV.
+ */
+ScenarioOutput mergeRecords(const std::vector<RunUnit> &units,
+                            const std::vector<RunRecord> &records);
+
+/** Registry: all scenarios in canonical (paper) order. */
+const std::vector<Scenario> &allScenarios();
+
+/** Find by exact name; nullptr when unknown. */
+const Scenario *findScenario(const std::string &name);
+
+/** All scenarios whose name contains @p filter (empty = all). */
+std::vector<const Scenario *> filterScenarios(const std::string &filter);
+
+}  // namespace harness
+}  // namespace mclock
+
+#endif  // MCLOCK_HARNESS_SCENARIO_HH_

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Internal helpers shared by the scenario definition files. Not part of
+ * the public harness API.
+ */
+
+#ifndef MCLOCK_HARNESS_SCENARIO_COMMON_HH_
+#define MCLOCK_HARNESS_SCENARIO_COMMON_HH_
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/invariants.hh"
+#include "harness/profiles.hh"
+#include "harness/scenario.hh"
+#include "sim/simulator.hh"
+
+namespace mclock {
+namespace harness {
+
+/** printf-append into a string (scenario text is built off-thread). */
+inline void
+appendf(std::string &out, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+inline void
+appendf(std::string &out, const char *fmt, ...)
+{
+    char stack[512];
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    const int n = std::vsnprintf(stack, sizeof(stack), fmt, ap);
+    va_end(ap);
+    if (n < 0) {
+        va_end(ap2);
+        return;
+    }
+    if (static_cast<std::size_t>(n) < sizeof(stack)) {
+        out.append(stack, static_cast<std::size_t>(n));
+    } else {
+        std::vector<char> heap(static_cast<std::size_t>(n) + 1);
+        std::vsnprintf(heap.data(), heap.size(), fmt, ap2);
+        out.append(heap.data(), static_cast<std::size_t>(n));
+    }
+    va_end(ap2);
+}
+
+/** Run the shared invariant suite and file violations on the record. */
+inline void
+checkRunInvariants(sim::Simulator &sim, RunRecord &rec)
+{
+    for (auto &v : collectViolations(sim))
+        rec.violations.push_back(std::move(v));
+}
+
+/** Scenario factory groups (one per definition file). */
+std::vector<Scenario> makeTraceScenarios();   // fig01, fig02, tab01
+std::vector<Scenario> makeYcsbScenarios();    // fig05/08/09/10 + ablations
+std::vector<Scenario> makeGapbsScenarios();   // fig06, fig07
+Scenario makeMicroScenario();                 // micro_structures
+
+}  // namespace harness
+}  // namespace mclock
+
+#endif  // MCLOCK_HARNESS_SCENARIO_COMMON_HH_

@@ -12,6 +12,7 @@
 
 #include "base/rng.hh"
 #include "base/units.hh"
+#include "harness/invariants.hh"
 #include "mem/cache.hh"
 #include "policies/factory.hh"
 #include "sim/machine.hh"
@@ -102,6 +103,20 @@ class PolicyInvariantTest
         EXPECT_EQ(onLists, resident);
     }
 
+    /**
+     * The shared invariant suite the experiment harness runs after
+     * every scenario unit (frame conservation, single residency,
+     * occupancy <= capacity, list discipline, promote-flag evidence).
+     * Running it here too keeps the two checkers from drifting apart.
+     */
+    void
+    checkSharedInvariants(sim::Simulator &sim)
+    {
+        const auto violations = harness::collectViolations(sim);
+        for (const auto &v : violations)
+            ADD_FAILURE() << "harness invariant: " << v;
+    }
+
     /** List tags must match the node's list that holds the page. */
     void
     checkListTagsConsistent(sim::Simulator &sim)
@@ -136,6 +151,7 @@ TEST_P(PolicyInvariantTest, InvariantsHoldAfterRandomWorkload)
     checkFrameConservation(sim);
     checkListMembership(sim);
     checkListTagsConsistent(sim);
+    checkSharedInvariants(sim);
 }
 
 TEST_P(PolicyInvariantTest, TimeIsMonotonic)
@@ -211,6 +227,7 @@ TEST_P(PolicyInvariantTest, SurvivesOvercommitWithSwap)
     EXPECT_GT(sim.stats().get("swap_outs"), 0u);
     checkFrameConservation(sim);
     checkListMembership(sim);
+    checkSharedInvariants(sim);
 }
 
 INSTANTIATE_TEST_SUITE_P(
