@@ -48,6 +48,11 @@ usage(const char *prog)
         "ops=100000);\n"
         "                    repeatable\n"
         "  --golden          use the reduced-scale golden profiles\n"
+        "  --stats           export kernel-style stats per unit: the\n"
+        "                    vmstat time series (<scenario>_<unit>_"
+        "vmstat.csv)\n"
+        "                    and the tracepoint ring (..._trace.jsonl);\n"
+        "                    counter totals land in run_manifest.json\n"
         "  --no-manifest     do not write run_manifest.json into "
         "--out\n"
         "  --quiet           suppress scenario text output\n"
@@ -207,6 +212,8 @@ main(int argc, char **argv)
             }
         } else if (arg == "--golden") {
             golden = true;
+        } else if (arg == "--stats") {
+            ctx.stats = true;
         } else if (arg == "--manifest") {
             manifest = true;
         } else if (arg == "--no-manifest") {

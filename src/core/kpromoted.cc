@@ -25,6 +25,11 @@ Kpromoted::run(SimTime now)
     sim::Node &node = sim_.memory().node(nodeId_);
     const std::size_t nrScan = policy_.config().nrScan;
 
+    sim_.vmstat().add(stats::VmItem::KpromotedWake, nodeId_);
+    sim_.trace().record(stats::TraceEventType::KpromotedWake, nodeId_,
+                        node.lists().promoteSize(true),
+                        node.lists().promoteSize(false));
+
     // Selection: advance page states from reference-bit evidence.
     std::uint64_t scanned = 0;
     for (bool anon : {true, false}) {
@@ -79,6 +84,7 @@ Kpromoted::scanInactive(sim::Node &node, bool anon, std::size_t nrScan)
         // next run examines the following pages.
         lists.rotateToFront(pg);
     }
+    lists.statAdd(stats::VmItem::PgscanInactive, budget);
     return budget;
 }
 
@@ -105,6 +111,7 @@ Kpromoted::scanActive(sim::Node &node, bool anon, std::size_t nrScan)
         }
         lists.rotateToFront(pg);
     }
+    lists.statAdd(stats::VmItem::PgscanActive, budget);
     return budget;
 }
 
@@ -185,6 +192,7 @@ Kpromoted::shrinkPromoteList(sim::Node &node, bool anon, std::size_t budget,
             lists.add(pg, pfra::NodeLists::activeKind(anon));
         }
     }
+    lists.statAdd(stats::VmItem::PgscanPromote, toScan);
     sim_.chargeScan(toScan);
     return promotedNow;
 }

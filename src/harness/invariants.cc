@@ -1,6 +1,7 @@
 #include "harness/invariants.hh"
 
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 #include <vector>
 
@@ -8,6 +9,7 @@
 #include "sim/memory_system.hh"
 #include "sim/node.hh"
 #include "sim/simulator.hh"
+#include "stats/vmstat.hh"
 #include "vm/address_space.hh"
 #include "vm/page.hh"
 
@@ -127,6 +129,111 @@ collectViolations(sim::Simulator &sim)
                   "list membership mismatch: %zu pages on lists, %zu "
                   "resident",
                   onLists, resident);
+    }
+    return out;
+}
+
+namespace {
+
+void
+counterMismatch(std::vector<std::string> &out, const char *what,
+                std::uint64_t counter, std::uint64_t truth)
+{
+    violation(out, "counter mismatch: %s = %llu but ground truth %llu",
+              what, static_cast<unsigned long long>(counter),
+              static_cast<unsigned long long>(truth));
+}
+
+}  // namespace
+
+std::vector<std::string>
+collectCounterViolations(sim::Simulator &sim)
+{
+    using stats::VmItem;
+    std::vector<std::string> out;
+    const auto &vm = sim.vmstat();
+    auto &st = sim.stats();
+
+    // Migration accounting: three observers (vmstat, Metrics, the
+    // migration engine) counted the same events independently.
+    if (vm.global(VmItem::PgpromoteSuccess) !=
+        sim.metrics().totalPromotions()) {
+        counterMismatch(out, "pgpromote_success",
+                        vm.global(VmItem::PgpromoteSuccess),
+                        sim.metrics().totalPromotions());
+    }
+    if (vm.global(VmItem::Pgdemote) != sim.metrics().totalDemotions()) {
+        counterMismatch(out, "pgdemote", vm.global(VmItem::Pgdemote),
+                        sim.metrics().totalDemotions());
+    }
+    if (vm.global(VmItem::Pgexchange) !=
+        sim.migrationEngine().exchanges()) {
+        counterMismatch(out, "pgexchange", vm.global(VmItem::Pgexchange),
+                        sim.migrationEngine().exchanges());
+    }
+
+    // Swap traffic and reclaim: pswpin/pswpout shadow the legacy stats;
+    // in this model every page written out was stolen from its node.
+    if (vm.global(VmItem::Pswpin) != st.get("swap_ins"))
+        counterMismatch(out, "pswpin", vm.global(VmItem::Pswpin),
+                        st.get("swap_ins"));
+    if (vm.global(VmItem::Pswpout) != st.get("swap_outs"))
+        counterMismatch(out, "pswpout", vm.global(VmItem::Pswpout),
+                        st.get("swap_outs"));
+    if (vm.global(VmItem::Pgsteal) != vm.global(VmItem::Pswpout))
+        counterMismatch(out, "pgsteal", vm.global(VmItem::Pgsteal),
+                        vm.global(VmItem::Pswpout));
+
+    // Fault attribution: every frame allocation (minor fault or swap-in)
+    // landed on exactly one tier.
+    const std::uint64_t faults = vm.global(VmItem::PgfaultDram) +
+                                 vm.global(VmItem::PgfaultPm);
+    const std::uint64_t allocs =
+        st.get("minor_faults") + st.get("swap_ins");
+    if (faults != allocs)
+        counterMismatch(out, "pgfault_dram+pgfault_pm", faults, allocs);
+    if (vm.global(VmItem::PghintFault) != st.get("hint_faults"))
+        counterMismatch(out, "pghint_fault",
+                        vm.global(VmItem::PghintFault),
+                        st.get("hint_faults"));
+
+    // LRU scan classification never exceeds the charged scan volume
+    // (page-table profiling passes are charged but not list scans).
+    const std::uint64_t pgscan = vm.global(VmItem::PgscanActive) +
+                                 vm.global(VmItem::PgscanInactive) +
+                                 vm.global(VmItem::PgscanPromote);
+    if (pgscan > st.get("scanned_pages")) {
+        counterMismatch(out, "pgscan_active+inactive+promote", pgscan,
+                        st.get("scanned_pages"));
+    }
+
+    // Per-node attribution: node counts can never exceed the global
+    // count, and the node-attributed items must account for every event.
+    for (std::size_t i = 0; i < stats::kNumVmItems; ++i) {
+        const auto item = static_cast<VmItem>(i);
+        if (vm.nodeSum(item) > vm.global(item)) {
+            violation(out,
+                      "counter mismatch: per-node %s sums to %llu, over "
+                      "the global %llu",
+                      stats::vmItemName(item),
+                      static_cast<unsigned long long>(vm.nodeSum(item)),
+                      static_cast<unsigned long long>(vm.global(item)));
+        }
+    }
+    for (VmItem item : {VmItem::PgscanActive, VmItem::PgscanInactive,
+                        VmItem::PgscanPromote, VmItem::PgpromoteSuccess,
+                        VmItem::Pgdemote, VmItem::Pgsteal,
+                        VmItem::PgfaultDram, VmItem::PgfaultPm,
+                        VmItem::Pswpin, VmItem::Pswpout,
+                        VmItem::KswapdWake}) {
+        if (vm.nodeSum(item) != vm.global(item)) {
+            violation(out,
+                      "counter mismatch: per-node %s sums to %llu, not "
+                      "the global %llu",
+                      stats::vmItemName(item),
+                      static_cast<unsigned long long>(vm.nodeSum(item)),
+                      static_cast<unsigned long long>(vm.global(item)));
+        }
     }
     return out;
 }

@@ -129,7 +129,18 @@ writeManifest(const RunReport &report, const RunnerOptions &opts)
         Json artifacts{Json::Array{}};
         for (const auto &a : r.output.artifacts)
             artifacts.push(Json(a.filename));
+        for (const auto &a : r.output.statsArtifacts)
+            artifacts.push(Json(r.name + "_" + a.filename));
         entry.set("artifacts", std::move(artifacts));
+        // Scenario-total vmstat counters (the plain, unit-prefix-free
+        // keys merged by mergeRecords); per-unit and per-node values
+        // live in the vmstat.csv artifacts, not the manifest.
+        Json vmstat{Json::Object{}};
+        for (const auto &[key, value] : r.output.vmstat) {
+            if (key.find('.') == std::string::npos)
+                vmstat.set(key, static_cast<double>(value));
+        }
+        entry.set("vmstat", std::move(vmstat));
         scenarios.push(std::move(entry));
     }
 

@@ -165,16 +165,32 @@ runScenarios(const std::vector<const Scenario *> &scenarios,
     if (opts.writeArtifacts) {
         std::error_code ec;
         std::filesystem::create_directories(opts.outDir, ec);
+        auto writeFile = [&](const std::filesystem::path &path,
+                             const std::string &contents) {
+            std::ofstream f(path);
+            if (!f) {
+                MCLOCK_FATAL("cannot write artifact '%s'",
+                             path.string().c_str());
+            }
+            f << contents;
+        };
         for (const auto &r : report.results) {
             for (const auto &a : r.output.artifacts) {
-                const auto path =
-                    std::filesystem::path(opts.outDir) / a.filename;
-                std::ofstream f(path);
-                if (!f) {
-                    MCLOCK_FATAL("cannot write artifact '%s'",
-                                 path.string().c_str());
+                writeFile(std::filesystem::path(opts.outDir) / a.filename,
+                          a.contents);
+            }
+            // Stats-mode artifacts are named per unit; namespace them by
+            // scenario so a multi-scenario --stats run cannot collide.
+            for (const auto &a : r.output.statsArtifacts) {
+                // '/' appears in compound unit names (fig06's
+                // "policy/kernel"); flatten for the filesystem.
+                std::string name = r.name + "_" + a.filename;
+                for (char &c : name) {
+                    if (c == '/')
+                        c = '_';
                 }
-                f << a.contents;
+                writeFile(std::filesystem::path(opts.outDir) / name,
+                          a.contents);
             }
         }
     }

@@ -21,6 +21,22 @@ mergeRecords(const std::vector<RunUnit> &units,
             out.summary[prefix + "." + key] = value;
         for (const auto &v : rec.violations)
             out.violations.push_back(prefix + ": " + v);
+        for (const auto &[key, value] : rec.vmstat) {
+            out.vmstat[prefix + "." + key] = value;
+            // Scenario totals over the global (non-per-node) items.
+            if (key.rfind("node", 0) != 0)
+                out.vmstat[key] += value;
+        }
+        if (!rec.samplerCsv.empty()) {
+            out.statsArtifacts.push_back(
+                {prefix + "_vmstat.csv", rec.samplerCsv});
+        }
+        if (!rec.traceEvents.empty()) {
+            std::string jsonl;
+            stats::appendTraceJsonl(jsonl, rec.traceEvents, prefix);
+            out.statsArtifacts.push_back(
+                {prefix + "_trace.jsonl", std::move(jsonl)});
+        }
     }
     return out;
 }

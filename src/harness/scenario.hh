@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "stats/tracepoint.hh"
+
 namespace mclock {
 namespace harness {
 
@@ -43,6 +45,13 @@ struct RunContext
 
     /** Golden profile: reduced-scale parameters for regression runs. */
     bool golden = false;
+
+    /**
+     * Stats mode (--stats): run the vmstat sampler in every simulator
+     * and export vmstat.csv / trace.jsonl artifacts per unit. Counters
+     * themselves are always collected; this only adds the artifacts.
+     */
+    bool stats = false;
 
     /** Named overrides from the CLI (--ops, --param k=v, ...). */
     std::map<std::string, std::uint64_t> params;
@@ -94,6 +103,20 @@ struct RunRecord
 
     /** Invariant violations found after the run (must be empty). */
     std::vector<std::string> violations;
+
+    /**
+     * Kernel-style vmstat counter snapshot taken at the end of the run
+     * ("pgscan_active" etc., plus "node<N>.<item>" for nonzero per-node
+     * values). Kept separate from @ref metrics so the golden-comparable
+     * summary is unchanged.
+     */
+    std::map<std::string, std::uint64_t> vmstat;
+
+    /** Tracepoint events drained from the ring (stats mode only). */
+    std::vector<stats::TraceEvent> traceEvents;
+
+    /** Periodic vmstat time series as CSV (stats mode only). */
+    std::string samplerCsv;
 };
 
 /** One independently executable simulation; owns its Simulator. */
@@ -112,6 +135,20 @@ struct ScenarioOutput
     /** Golden-comparable summary (union of unit metrics + derived). */
     MetricMap summary;
     std::vector<std::string> violations;
+
+    /**
+     * Merged vmstat counters: "<unit>.<item>" per unit, plus plain
+     * "<item>" totals summed over units (global items only). Reduced
+     * single-threaded in registry order, so the result is independent
+     * of the worker count. Not part of the golden summary.
+     */
+    std::map<std::string, std::uint64_t> vmstat;
+
+    /**
+     * Per-unit stats artifacts (vmstat.csv / trace.jsonl); the runner
+     * prefixes each filename with the scenario name when writing.
+     */
+    std::vector<Artifact> statsArtifacts;
 };
 
 /** One registered experiment. */

@@ -49,12 +49,32 @@ appendf(std::string &out, const char *fmt, ...)
     va_end(ap2);
 }
 
-/** Run the shared invariant suite and file violations on the record. */
+/** Wire the --stats context into a machine about to be instantiated. */
+inline void
+applyStatsContext(sim::MachineConfig &machine, const RunContext &ctx)
+{
+    machine.stats.sampler = ctx.stats;
+    machine.stats.artifacts = ctx.stats;
+}
+
+/**
+ * Run the shared invariant suite (structural + counter consistency),
+ * file violations on the record, and export the vmstat snapshot (plus
+ * trace/sampler artifacts in stats mode).
+ */
 inline void
 checkRunInvariants(sim::Simulator &sim, RunRecord &rec)
 {
     for (auto &v : collectViolations(sim))
         rec.violations.push_back(std::move(v));
+    for (auto &v : collectCounterViolations(sim))
+        rec.violations.push_back(std::move(v));
+    rec.vmstat = sim.vmstat().snapshot();
+    if (sim.config().stats.artifacts) {
+        rec.traceEvents = sim.trace().events();
+        if (sim.sampler())
+            rec.samplerCsv = sim.sampler()->toCsv();
+    }
 }
 
 /** Scenario factory groups (one per definition file). */

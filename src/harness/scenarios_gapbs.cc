@@ -65,6 +65,7 @@ fig06Scenario()
                                                          ? goldenGapbsMachine()
                                                          : gapbsMachine();
                         machine.seed = ctx.seed;
+                        applyStatsContext(machine, ctx);
                         RunRecord rec;
                         sim::Simulator sim(machine);
                         sim.setPolicy(policies::makePolicy(
@@ -183,6 +184,10 @@ fig07Profiles(const RunContext &ctx)
     p.ycsb.seed = ctx.derivedSeed(1, p.ycsb.seed);
     p.tiered.seed = p.pmOnly.seed = ctx.seed;
     p.gTiered.seed = p.gPm.seed = ctx.seed;
+    applyStatsContext(p.tiered, ctx);
+    applyStatsContext(p.pmOnly, ctx);
+    applyStatsContext(p.gTiered, ctx);
+    applyStatsContext(p.gPm, ctx);
     p.opts = benchPolicyOptions();
     p.opts.dramCacheBytes = p.tiered.tierBytes(TierKind::Dram);
     p.gOpts = benchPolicyOptions();
@@ -352,8 +357,9 @@ makeMicroScenario()
                         for (std::size_t i = 0; i < n / 3; ++i)
                             pages[rng.nextRange(n)]->setPteReferenced(
                                 true);
-                        sink += pfra::shrinkActiveList(lists, true, n)
-                                    .scanned;
+                        sink = sink +
+                               pfra::shrinkActiveList(lists, true, n)
+                                   .scanned;
                         auto &inactive =
                             lists.list(LruListKind::InactiveAnon);
                         while (Page *pg = inactive.back())
@@ -368,8 +374,9 @@ makeMicroScenario()
                 Rng rng(ctx.seed + 1);
                 rec.metrics["cache_access_ns"] =
                     nsPerOp(1u << 18, [&](std::uint64_t) {
-                        sink += cache.access(rng.nextRange(64_MiB),
-                                             false).hit;
+                        sink = sink +
+                               cache.access(rng.nextRange(64_MiB),
+                                            false).hit;
                     });
             }
 
@@ -378,7 +385,7 @@ makeMicroScenario()
                 Rng rng(ctx.seed + 2);
                 rec.metrics["zipf_next_ns"] =
                     nsPerOp(1u << 18, [&](std::uint64_t) {
-                        sink += zipf.next(rng);
+                        sink = sink + zipf.next(rng);
                     });
             }
 

@@ -42,6 +42,7 @@ runSynthetic(const RunContext &ctx, workloads::SyntheticProfile profile,
     sim::MachineConfig machine =
         ctx.golden ? goldenYcsbMachine() : ycsbMachine();
     machine.seed = ctx.seed;
+    applyStatsContext(machine, ctx);
     sim::Simulator sim(machine);
     sim.setPolicy(std::make_unique<policies::StaticTieringPolicy>());
 

@@ -37,6 +37,7 @@ ycsbProfile(const RunContext &ctx, std::uint64_t defaultOps,
     YcsbProfile p;
     p.machine = ctx.golden ? goldenYcsbMachine() : ycsbMachine();
     p.machine.seed = ctx.seed;
+    applyStatsContext(p.machine, ctx);
     p.ycsb = ctx.golden ? goldenYcsbConfig(ops) : ycsbBenchConfig(ops);
     p.ycsb.seed = ctx.derivedSeed(1, p.ycsb.seed);
     p.opts = benchPolicyOptions(interval);
@@ -73,7 +74,7 @@ runSingleWorkload(const std::string &policy, const YcsbProfile &p,
         static_cast<double>(sim.stats().get("swap_outs"));
     const auto &windows = sim.metrics().windows();
     rec.metrics["windows"] = static_cast<double>(windows.size());
-    char key[32];
+    char key[48];
     for (std::size_t w = 0; w < windows.size(); ++w) {
         std::snprintf(key, sizeof(key), "w%03zu.promotions", w);
         rec.metrics[key] = static_cast<double>(windows[w].promotions);

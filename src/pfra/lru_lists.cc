@@ -28,6 +28,15 @@ NodeLists::remove(Page *page)
 void
 NodeLists::moveTo(Page *page, LruListKind kind, bool toFront)
 {
+    if (vmstat_) {
+        const LruListKind from = page->list();
+        if (isInactiveList(from) && isActiveList(kind))
+            vmstat_->add(stats::VmItem::Pgactivate, node_);
+        else if (isActiveList(from) && isInactiveList(kind))
+            vmstat_->add(stats::VmItem::Pgdeactivate, node_);
+        else if (isPromoteList(kind) && !isPromoteList(from))
+            vmstat_->add(stats::VmItem::PgpromoteSelected, node_);
+    }
     remove(page);
     add(page, kind, toFront);
 }
@@ -39,6 +48,12 @@ NodeLists::rotateToFront(Page *page)
     MCLOCK_ASSERT(kind != LruListKind::None);
     list(kind).erase(page);
     list(kind).pushFront(page);
+    if (vmstat_)
+        vmstat_->add(stats::VmItem::Pgrotated, node_);
+    if (trace_) {
+        trace_->record(stats::TraceEventType::ListRotation, node_,
+                       page->vpn(), static_cast<std::uint64_t>(kind));
+    }
 }
 
 std::size_t

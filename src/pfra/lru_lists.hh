@@ -15,6 +15,8 @@
 #include <cstddef>
 
 #include "base/intrusive_list.hh"
+#include "stats/tracepoint.hh"
+#include "stats/vmstat.hh"
 #include "vm/page.hh"
 
 namespace mclock {
@@ -78,6 +80,28 @@ class NodeLists
     /** Total pages across all lists on this node. */
     std::size_t totalPages() const;
 
+    /**
+     * Attach vmstat/tracepoint sinks (both optional). List motion then
+     * feeds pgactivate / pgdeactivate / pgrotated / pgpromote_selected
+     * and ListRotation tracepoints, attributed to @p node.
+     */
+    void
+    attachStats(stats::VmStat *vmstat, stats::TraceBuffer *trace,
+                NodeId node)
+    {
+        vmstat_ = vmstat;
+        trace_ = trace;
+        node_ = node;
+    }
+
+    /** Bump a vmstat counter for this node (no-op with no sink). */
+    void
+    statAdd(stats::VmItem item, std::uint64_t delta = 1)
+    {
+        if (vmstat_ && delta)
+            vmstat_->add(item, node_, delta);
+    }
+
     static LruListKind
     inactiveKind(bool anon)
     {
@@ -100,6 +124,9 @@ class NodeLists
     // Index 0 (LruListKind::None) stays empty; keeping it simplifies
     // indexing by the enum value.
     std::array<PageList, kNumLruLists> lists_;
+    stats::VmStat *vmstat_ = nullptr;
+    stats::TraceBuffer *trace_ = nullptr;
+    NodeId node_ = kInvalidNode;
 };
 
 }  // namespace pfra

@@ -35,6 +35,7 @@ shrinkActiveList(NodeLists &lists, bool anon, std::size_t nrScan)
             ++stats.deactivated;
         }
     }
+    lists.statAdd(::mclock::stats::VmItem::PgscanActive, stats.scanned);
     return stats;
 }
 
@@ -93,6 +94,7 @@ collectInactiveCandidates(NodeLists &lists, bool anon, std::size_t nrScan,
         lists.remove(page);
         out.push_back(page);
     }
+    lists.statAdd(::mclock::stats::VmItem::PgscanInactive, stats.scanned);
     return stats;
 }
 

@@ -40,6 +40,9 @@ AmpPolicy::tick(SimTime now)
 {
     auto &mem = sim_->memory();
     auto &space = sim_->space();
+    sim_->vmstat().add(stats::VmItem::KpromotedWake);
+    sim_->trace().record(stats::TraceEventType::KpromotedWake,
+                         kInvalidNode, 0, 0);
     sim_->metrics().beginPromotionRound();
 
     // Full profiling pass: AMP scans every page of both tiers. Collect

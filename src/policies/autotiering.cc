@@ -38,6 +38,10 @@ AutoTieringPolicy::scanTick(SimTime now)
     if (limit == 0)
         return;
 
+    sim_->vmstat().add(stats::VmItem::KpromotedWake);
+    sim_->trace().record(stats::TraceEventType::KpromotedWake,
+                         kInvalidNode, cursor_, 0);
+
     auto &mem = sim_->memory();
     std::size_t poisoned = 0;
     std::size_t visited = 0;

@@ -46,6 +46,10 @@ void
 NimblePolicy::tick(sim::Node &node, SimTime now)
 {
     (void)now;
+    sim_->vmstat().add(stats::VmItem::KpromotedWake, node.id());
+    sim_->trace().record(stats::TraceEventType::KpromotedWake, node.id(),
+                         node.lists().inactiveSize(true),
+                         node.lists().activeSize(true));
     sim_->metrics().beginPromotionRound();
     std::uint64_t scanned = 0;
     std::uint64_t promoted = 0;
@@ -133,6 +137,9 @@ NimblePolicy::scanAndPromote(sim::Node &node, LruListKind kind,
         // Could not move it; return to this node's list head.
         lists.add(pg, kind);
     }
+    lists.statAdd(isActiveList(kind) ? stats::VmItem::PgscanActive
+                                     : stats::VmItem::PgscanInactive,
+                  budget);
     return budget;
 }
 

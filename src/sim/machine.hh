@@ -19,6 +19,19 @@
 namespace mclock {
 namespace sim {
 
+/** Observability knobs for one simulated host (see src/stats/). */
+struct StatsConfig
+{
+    /** Tracepoint ring capacity in events; 0 disables tracing. */
+    std::size_t traceCapacity = 4096;
+    /** Register the periodic vmstat sampler daemon. */
+    bool sampler = false;
+    /** Sampler period in simulated ns (paper-scale 1 s, scaled). */
+    SimTime samplerInterval = 4'000'000ull;
+    /** Export vmstat.csv / trace.jsonl from harness runs (--stats). */
+    bool artifacts = false;
+};
+
 /** Everything needed to instantiate a Simulator. */
 struct MachineConfig
 {
@@ -30,6 +43,8 @@ struct MachineConfig
     std::size_t swapPages = 0;
     /** Metrics window length (the paper reports 20 s windows). */
     SimTime metricsWindow = 20'000'000'000ull;
+    /** Counter/tracepoint/sampler configuration. */
+    StatsConfig stats;
 
     std::size_t
     tierBytes(TierKind kind) const

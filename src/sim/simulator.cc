@@ -16,8 +16,24 @@ Simulator::Simulator(MachineConfig cfg)
       migration_(mem_, cfg_.mem, llc_.get()),
       metrics_(cfg_.metricsWindow),
       swap_(cfg_.swapPages),
-      rng_(cfg_.seed)
+      rng_(cfg_.seed),
+      vmstat_(mem_.numNodes()),
+      trace_(cfg_.stats.traceCapacity),
+      belowLow_(mem_.numNodes(), false)
 {
+    trace_.bindClock(&now_);
+    // Low-level subsystems (LRU lists) record through raw sinks so
+    // pfra/ needs no dependency on the simulator.
+    mem_.forEachNode([this](Node &node) {
+        node.lists().attachStats(&vmstat_, &trace_, node.id());
+    });
+    if (cfg_.stats.sampler) {
+        sampler_ = std::make_unique<stats::VmstatSampler>(vmstat_);
+        // The sampler body charges no time and mutates no simulator
+        // state, so registering it cannot change simulation results.
+        daemons_.add("vmstat_sampler", cfg_.stats.samplerInterval,
+                     [this](SimTime now) { sampler_->sample(now); });
+    }
 }
 
 Simulator::~Simulator() = default;
@@ -178,15 +194,31 @@ Simulator::migratePage(Page *page, NodeId dst, ChargeMode mode)
 {
     MCLOCK_ASSERT(!page->onLru());
     const TierKind srcKind = pageTier(page);
+    const NodeId srcNode = page->node();
+    const int dir = static_cast<int>(mem_.node(dst).kind()) -
+                    static_cast<int>(srcKind);
+    trace_.record(stats::TraceEventType::MigrationStart, srcNode,
+                  page->vpn(), static_cast<std::uint64_t>(dst));
     SimTime cost = 0;
-    if (!migration_.migrate(page, dst, cost))
+    if (!migration_.migrate(page, dst, cost)) {
+        if (dir < 0)
+            vmstat_.add(stats::VmItem::PgpromoteFail, srcNode);
+        else if (dir > 0)
+            vmstat_.add(stats::VmItem::PgdemoteFail, srcNode);
         return false;
+    }
     const TierKind dstKind = mem_.node(dst).kind();
     chargeMigration(cost, mode, cfg_.mem.migrationFixedCost);
-    if (static_cast<int>(dstKind) < static_cast<int>(srcKind))
+    if (static_cast<int>(dstKind) < static_cast<int>(srcKind)) {
         metrics_.recordPromotion(now_, page);
-    else if (static_cast<int>(dstKind) > static_cast<int>(srcKind))
+        // Kernel convention: pgpromote_success lands on the target node.
+        vmstat_.add(stats::VmItem::PgpromoteSuccess, dst);
+    } else if (static_cast<int>(dstKind) > static_cast<int>(srcKind)) {
         metrics_.recordDemotion(now_);
+        vmstat_.add(stats::VmItem::Pgdemote, srcNode);
+    }
+    trace_.record(stats::TraceEventType::MigrationComplete, srcNode,
+                  page->vpn(), static_cast<std::uint64_t>(dst));
     return true;
 }
 
@@ -197,8 +229,12 @@ Simulator::promotePage(Page *page, ChargeMode mode)
     if (!mem_.higherTier(pageTier(page), up))
         return false;
     const NodeId dst = mem_.pickNodeWithSpace(up, /*respectMin=*/false);
-    if (dst == kInvalidNode)
+    if (dst == kInvalidNode) {
+        // No free frame anywhere in the upper tier: the promotion
+        // failed before a migration could start.
+        vmstat_.add(stats::VmItem::PgpromoteFail, page->node());
         return false;
+    }
     return migratePage(page, dst, mode);
 }
 
@@ -209,8 +245,10 @@ Simulator::demotePage(Page *page, ChargeMode mode)
     if (!mem_.lowerTier(pageTier(page), down))
         return false;
     const NodeId dst = mem_.pickNodeWithSpace(down, /*respectMin=*/true);
-    if (dst == kInvalidNode)
+    if (dst == kInvalidNode) {
+        vmstat_.add(stats::VmItem::PgdemoteFail, page->node());
         return false;
+    }
     return migratePage(page, dst, mode);
 }
 
@@ -219,15 +257,25 @@ Simulator::exchangePages(Page *hot, Page *cold, ChargeMode mode)
 {
     MCLOCK_ASSERT(!hot->onLru() && !cold->onLru());
     const TierKind hotSrc = pageTier(hot);
+    const NodeId hotNode = hot->node();
+    const NodeId coldNode = cold->node();
+    trace_.record(stats::TraceEventType::MigrationStart, hotNode,
+                  hot->vpn(), static_cast<std::uint64_t>(coldNode));
     SimTime cost = 0;
     if (!migration_.exchange(hot, cold, cost))
         return false;
     chargeMigration(cost, mode, cfg_.mem.migrationFixedCost * 17 / 10);
     // The hot page moved up, the cold page moved down (by construction
     // callers pass (pm-page, dram-page)).
-    if (hotSrc == TierKind::Pmem)
+    vmstat_.add(stats::VmItem::Pgexchange, hotNode);
+    if (hotSrc == TierKind::Pmem) {
         metrics_.recordPromotion(now_, hot);
+        vmstat_.add(stats::VmItem::PgpromoteSuccess, coldNode);
+    }
     metrics_.recordDemotion(now_);
+    vmstat_.add(stats::VmItem::Pgdemote, coldNode);
+    trace_.record(stats::TraceEventType::MigrationComplete, hotNode,
+                  hot->vpn(), static_cast<std::uint64_t>(coldNode));
     return true;
 }
 
@@ -237,6 +285,8 @@ Simulator::evictPage(Page *page)
     MCLOCK_ASSERT(!page->onLru());
     MCLOCK_ASSERT(page->resident());
     if (!page->isAnon() || swap_.hasSpace()) {
+        vmstat_.add(stats::VmItem::Pswpout, page->node());
+        vmstat_.add(stats::VmItem::Pgsteal, page->node());
         swap_.pageOut(page);
         chargeBackground(cfg_.mem.swapLatency);
         if (llc_)
@@ -260,6 +310,9 @@ Simulator::maybeReclaim(Node &node)
 {
     if (inPressure_ || !policy_)
         return;
+    vmstat_.add(stats::VmItem::KswapdWake, node.id());
+    trace_.record(stats::TraceEventType::KswapdWake, node.id(),
+                  node.freeFrames());
     inPressure_ = true;
     policy_->handlePressure(node);
     inPressure_ = false;
@@ -289,6 +342,7 @@ Simulator::accessOnePage(Vaddr va, bool write, bool supervised)
         pg->setHintPoisoned(false);
         chargeInline(cfg_.mem.hintFaultLatency);
         metrics_.stats().inc("hint_faults");
+        vmstat_.add(stats::VmItem::PghintFault, pg->node());
         policy_->onHintFault(pg);
     }
 
@@ -355,6 +409,7 @@ Simulator::handleSwapIn(Page *page)
     policy_->onPageAllocated(page);
     chargeInline(cfg_.mem.minorFaultLatency + cfg_.mem.swapLatency);
     metrics_.stats().inc("swap_ins");
+    vmstat_.add(stats::VmItem::Pswpin, page->node());
 }
 
 void
@@ -367,11 +422,29 @@ Simulator::allocateFrameFor(Page *page)
             Paddr pa;
             if (node.allocFrame(pa)) {
                 page->placeOn(nid, pa);
+                vmstat_.add(node.kind() == TierKind::Dram
+                                ? stats::VmItem::PgfaultDram
+                                : stats::VmItem::PgfaultPm,
+                            nid);
                 // kswapd wakeup: the allocator noticed a node dipping
                 // below its low watermark.
                 mem_.forEachNode([this](Node &n) {
-                    if (n.belowLow())
+                    const auto id = static_cast<std::size_t>(n.id());
+                    if (n.belowLow()) {
+                        if (!belowLow_[id]) {
+                            belowLow_[id] = true;
+                            vmstat_.add(
+                                stats::VmItem::WatermarkLowCross, n.id());
+                            trace_.record(
+                                stats::TraceEventType::WatermarkCross,
+                                n.id(), n.freeFrames());
+                        }
                         maybeReclaim(n);
+                    } else if (belowLow_[id] && n.aboveHigh()) {
+                        // Hysteresis: re-arm only once the node has
+                        // been refilled past the high watermark.
+                        belowLow_[id] = false;
+                    }
                 });
                 return;
             }

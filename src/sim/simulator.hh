@@ -15,6 +15,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "base/rng.hh"
 #include "base/stats.hh"
@@ -27,6 +28,9 @@
 #include "sim/memory_system.hh"
 #include "sim/metrics.hh"
 #include "sim/migration.hh"
+#include "stats/sampler.hh"
+#include "stats/tracepoint.hh"
+#include "stats/vmstat.hh"
 #include "vm/address_space.hh"
 #include "vm/swap.hh"
 
@@ -81,6 +85,18 @@ class Simulator
     const MemoryConfig &memConfig() const { return cfg_.mem; }
     Metrics &metrics() { return metrics_; }
     StatRegistry &stats() { return metrics_.stats(); }
+
+    /** Kernel-style vmstat counters (per-node + global, monotonic). */
+    stats::VmStat &vmstat() { return vmstat_; }
+    const stats::VmStat &vmstat() const { return vmstat_; }
+
+    /** Tracepoint ring buffer (simulated-time-stamped typed events). */
+    stats::TraceBuffer &trace() { return trace_; }
+    const stats::TraceBuffer &trace() const { return trace_; }
+
+    /** Periodic vmstat sampler; nullptr unless cfg.stats.sampler. */
+    stats::VmstatSampler *sampler() { return sampler_.get(); }
+
     DaemonScheduler &daemons() { return daemons_; }
     AddressSpace &space() { return space_; }
     SwapDevice &swap() { return swap_; }
@@ -164,6 +180,11 @@ class Simulator
     AddressSpace space_;
     SwapDevice swap_;
     Rng rng_;
+    stats::VmStat vmstat_;
+    stats::TraceBuffer trace_;
+    std::unique_ptr<stats::VmstatSampler> sampler_;
+    /** Per-node below-low-watermark latch for crossing detection. */
+    std::vector<bool> belowLow_;
     std::unique_ptr<policies::TieringPolicy> policy_;
     SimTime now_ = 0;
     bool inPressure_ = false;

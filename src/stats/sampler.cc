@@ -1,0 +1,27 @@
+#include "stats/sampler.hh"
+
+namespace mclock {
+namespace stats {
+
+std::string
+VmstatSampler::toCsv() const
+{
+    std::string out = "time_ns";
+    for (std::size_t i = 0; i < kNumVmItems; ++i) {
+        out += ',';
+        out += vmItemName(static_cast<VmItem>(i));
+    }
+    out += '\n';
+    for (const auto &s : samples_) {
+        out += std::to_string(s.time);
+        for (std::size_t i = 0; i < kNumVmItems; ++i) {
+            out += ',';
+            out += std::to_string(s.counters[i]);
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+}  // namespace stats
+}  // namespace mclock

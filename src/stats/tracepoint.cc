@@ -1,0 +1,52 @@
+#include "stats/tracepoint.hh"
+
+#include <cstdio>
+
+namespace mclock {
+namespace stats {
+
+const char *
+traceEventName(TraceEventType type)
+{
+    switch (type) {
+      case TraceEventType::MigrationStart:    return "migration_start";
+      case TraceEventType::MigrationComplete: return "migration_complete";
+      case TraceEventType::ListRotation:      return "list_rotation";
+      case TraceEventType::KswapdWake:        return "kswapd_wake";
+      case TraceEventType::KpromotedWake:     return "kpromoted_wake";
+      case TraceEventType::WatermarkCross:    return "watermark_cross";
+    }
+    return "unknown";
+}
+
+std::vector<TraceEvent>
+TraceBuffer::events() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(ring_.size());
+    // Once wrapped, head_ points at the oldest element.
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+        out.push_back(ring_[(head_ + i) % ring_.size()]);
+    return out;
+}
+
+void
+appendTraceJsonl(std::string &out, const std::vector<TraceEvent> &events,
+                 const std::string &unit)
+{
+    char buf[256];
+    for (const auto &ev : events) {
+        std::snprintf(buf, sizeof(buf),
+                      "{\"unit\":\"%s\",\"t\":%llu,\"ev\":\"%s\","
+                      "\"node\":%d,\"arg0\":%llu,\"arg1\":%llu}\n",
+                      unit.c_str(),
+                      static_cast<unsigned long long>(ev.time),
+                      traceEventName(ev.type), ev.node,
+                      static_cast<unsigned long long>(ev.arg0),
+                      static_cast<unsigned long long>(ev.arg1));
+        out += buf;
+    }
+}
+
+}  // namespace stats
+}  // namespace mclock

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tracepoint ring buffer: the simulator's ftrace analogue.
+ *
+ * Subsystems record typed events (migration start/complete, list
+ * rotations, daemon wakes, watermark crossings) stamped with simulated
+ * time into a fixed-capacity ring. When the ring is full the oldest
+ * event is overwritten and a dropped counter advances, so tracing costs
+ * O(1) memory regardless of run length — exactly like a kernel trace
+ * buffer. A capacity of zero disables recording entirely.
+ *
+ * The buffer reads its timestamps through a bound clock pointer (the
+ * owning Simulator's now_), so low-level subsystems (LRU lists) can
+ * record events without a dependency on the simulator.
+ */
+
+#ifndef MCLOCK_STATS_TRACEPOINT_HH_
+#define MCLOCK_STATS_TRACEPOINT_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace mclock {
+namespace stats {
+
+/** Event taxonomy; names mirror the tracepoints they stand in for. */
+enum class TraceEventType : std::uint8_t {
+    MigrationStart,     ///< migrate_pages entry: arg0=vpn, arg1=dst node
+    MigrationComplete,  ///< migrate_pages success: arg0=vpn, arg1=dst
+    ListRotation,       ///< second-chance rotation: arg0=vpn, arg1=list
+    KswapdWake,         ///< pressure handler wake: arg0=free frames
+    KpromotedWake,      ///< promotion daemon wake: arg0=promote-list size
+    WatermarkCross,     ///< free count crossed low mark: arg0=free frames
+};
+
+/** Stable tracepoint name ("migration_start", ...). */
+const char *traceEventName(TraceEventType type);
+
+/** One recorded event. */
+struct TraceEvent
+{
+    SimTime time = 0;
+    TraceEventType type = TraceEventType::MigrationStart;
+    NodeId node = kInvalidNode;
+    std::uint64_t arg0 = 0;
+    std::uint64_t arg1 = 0;
+};
+
+/** Fixed-capacity overwriting ring of trace events. */
+class TraceBuffer
+{
+  public:
+    explicit TraceBuffer(std::size_t capacity = 0) : capacity_(capacity)
+    {
+        ring_.reserve(capacity_);
+    }
+
+    /** Bind the simulated clock record() stamps events with. */
+    void bindClock(const SimTime *clock) { clock_ = clock; }
+
+    bool enabled() const { return capacity_ != 0; }
+    std::size_t capacity() const { return capacity_; }
+    std::size_t size() const { return ring_.size(); }
+
+    /** Events overwritten because the ring was full. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** Total events ever recorded (size() + dropped()). */
+    std::uint64_t recorded() const { return recorded_; }
+
+    void
+    record(TraceEventType type, NodeId node, std::uint64_t arg0 = 0,
+           std::uint64_t arg1 = 0)
+    {
+        if (capacity_ == 0)
+            return;
+        TraceEvent ev;
+        ev.time = clock_ ? *clock_ : 0;
+        ev.type = type;
+        ev.node = node;
+        ev.arg0 = arg0;
+        ev.arg1 = arg1;
+        ++recorded_;
+        if (ring_.size() < capacity_) {
+            ring_.push_back(ev);
+            return;
+        }
+        ring_[head_] = ev;
+        head_ = (head_ + 1) % capacity_;
+        ++dropped_;
+    }
+
+    /** Events in recording order (oldest surviving first). */
+    std::vector<TraceEvent> events() const;
+
+    void
+    clear()
+    {
+        ring_.clear();
+        head_ = 0;
+        dropped_ = 0;
+        recorded_ = 0;
+    }
+
+  private:
+    std::size_t capacity_;
+    std::size_t head_ = 0;  ///< oldest element once the ring wrapped
+    std::uint64_t dropped_ = 0;
+    std::uint64_t recorded_ = 0;
+    const SimTime *clock_ = nullptr;
+    std::vector<TraceEvent> ring_;
+};
+
+/**
+ * Append @p events as JSON lines:
+ *   {"unit":"...","t":123,"ev":"migration_start","node":1,...}
+ */
+void appendTraceJsonl(std::string &out,
+                      const std::vector<TraceEvent> &events,
+                      const std::string &unit);
+
+}  // namespace stats
+}  // namespace mclock
+
+#endif  // MCLOCK_STATS_TRACEPOINT_HH_

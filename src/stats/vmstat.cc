@@ -1,0 +1,69 @@
+#include "stats/vmstat.hh"
+
+namespace mclock {
+namespace stats {
+
+const char *
+vmItemName(VmItem item)
+{
+    switch (item) {
+      case VmItem::PgscanActive:      return "pgscan_active";
+      case VmItem::PgscanInactive:    return "pgscan_inactive";
+      case VmItem::PgscanPromote:     return "pgscan_promote";
+      case VmItem::PgpromoteSuccess:  return "pgpromote_success";
+      case VmItem::PgpromoteFail:     return "pgpromote_fail";
+      case VmItem::PgpromoteSelected: return "pgpromote_selected";
+      case VmItem::Pgdemote:          return "pgdemote";
+      case VmItem::PgdemoteFail:      return "pgdemote_fail";
+      case VmItem::Pgexchange:        return "pgexchange";
+      case VmItem::Pgsteal:           return "pgsteal";
+      case VmItem::Pgactivate:        return "pgactivate";
+      case VmItem::Pgdeactivate:      return "pgdeactivate";
+      case VmItem::Pgrotated:         return "pgrotated";
+      case VmItem::PgfaultDram:       return "pgfault_dram";
+      case VmItem::PgfaultPm:         return "pgfault_pm";
+      case VmItem::PghintFault:       return "pghint_fault";
+      case VmItem::Pswpin:            return "pswpin";
+      case VmItem::Pswpout:           return "pswpout";
+      case VmItem::KswapdWake:        return "kswapd_wake";
+      case VmItem::KpromotedWake:     return "kpromoted_wake";
+      case VmItem::WatermarkLowCross: return "watermark_low_cross";
+      case VmItem::NumItems:          break;
+    }
+    return "unknown";
+}
+
+void
+VmStat::resize(std::size_t numNodes)
+{
+    perNode_.resize(numNodes);
+}
+
+std::uint64_t
+VmStat::nodeSum(VmItem item) const
+{
+    std::uint64_t sum = 0;
+    for (const auto &node : perNode_)
+        sum += node[static_cast<std::size_t>(item)];
+    return sum;
+}
+
+std::map<std::string, std::uint64_t>
+VmStat::snapshot() const
+{
+    std::map<std::string, std::uint64_t> out;
+    for (std::size_t i = 0; i < kNumVmItems; ++i) {
+        const auto item = static_cast<VmItem>(i);
+        out[vmItemName(item)] = global_[i];
+        for (std::size_t n = 0; n < perNode_.size(); ++n) {
+            if (perNode_[n][i] == 0)
+                continue;
+            out["node" + std::to_string(n) + "." + vmItemName(item)] =
+                perNode_[n][i];
+        }
+    }
+    return out;
+}
+
+}  // namespace stats
+}  // namespace mclock

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Kernel-style /proc/vmstat counters for one simulated host.
+ *
+ * Every tiering-relevant event (scans, promotions, demotions, steals,
+ * faults, swap traffic, daemon wakeups) increments one monotonic
+ * counter, attributed both globally and to the NUMA node where the
+ * event happened — mirroring /proc/vmstat and the per-node
+ * /sys/devices/system/node/nodeN/vmstat files the paper's evaluation
+ * (Figs. 5-10) is built on.
+ *
+ * Counters are plain uint64 adds on a per-Simulator instance: no
+ * locking, no global state, so harness run units stay embarrassingly
+ * parallel and jobs-count independent. Counters never charge simulated
+ * time; instrumenting a code path cannot change simulation results.
+ */
+
+#ifndef MCLOCK_STATS_VMSTAT_HH_
+#define MCLOCK_STATS_VMSTAT_HH_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace mclock {
+namespace stats {
+
+/**
+ * The vmstat item taxonomy. Names follow mm/vmstat.c where an analogue
+ * exists; MULTI-CLOCK-specific items (promote-list traffic) follow the
+ * same naming scheme.
+ */
+enum class VmItem : std::uint8_t {
+    PgscanActive,      ///< pages examined on an active list
+    PgscanInactive,    ///< pages examined on an inactive list
+    PgscanPromote,     ///< pages examined on a promote list
+    PgpromoteSuccess,  ///< upward migrations completed
+    PgpromoteFail,     ///< upward migrations attempted and failed
+    PgpromoteSelected, ///< pages moved onto a promote list
+    Pgdemote,          ///< downward migrations completed
+    PgdemoteFail,      ///< downward migrations attempted and failed
+    Pgexchange,        ///< two-sided page exchanges (Nimble)
+    Pgsteal,           ///< pages reclaimed to block storage
+    Pgactivate,        ///< inactive -> active list moves
+    Pgdeactivate,      ///< active -> inactive list moves
+    Pgrotated,         ///< second-chance rotations to the list head
+    PgfaultDram,       ///< frames faulted in on a DRAM node
+    PgfaultPm,         ///< frames faulted in on a PM node
+    PghintFault,       ///< NUMA-hint (poisoned PTE) faults taken
+    Pswpin,            ///< pages swapped back in from block storage
+    Pswpout,           ///< pages written out to block storage
+    KswapdWake,        ///< pressure handler invocations (kswapd wakes)
+    KpromotedWake,     ///< promotion daemon invocations
+    WatermarkLowCross, ///< node free count newly dipped below low
+    NumItems,
+};
+
+constexpr std::size_t kNumVmItems =
+    static_cast<std::size_t>(VmItem::NumItems);
+
+/** Stable /proc/vmstat-style name ("pgscan_active", ...). */
+const char *vmItemName(VmItem item);
+
+/** Per-node and global monotonic counters for one simulated host. */
+class VmStat
+{
+  public:
+    /** @param numNodes NUMA nodes to attribute counters to. */
+    explicit VmStat(std::size_t numNodes = 0) { resize(numNodes); }
+
+    void resize(std::size_t numNodes);
+
+    std::size_t numNodes() const { return perNode_.size(); }
+
+    /**
+     * Add @p delta to @p item. @p node attributes the event to a NUMA
+     * node; kInvalidNode records it globally only.
+     */
+    void
+    add(VmItem item, NodeId node = kInvalidNode, std::uint64_t delta = 1)
+    {
+        global_[static_cast<std::size_t>(item)] += delta;
+        if (node != kInvalidNode) {
+            const auto n = static_cast<std::size_t>(node);
+            if (n < perNode_.size())
+                perNode_[n][static_cast<std::size_t>(item)] += delta;
+        }
+    }
+
+    std::uint64_t
+    global(VmItem item) const
+    {
+        return global_[static_cast<std::size_t>(item)];
+    }
+
+    std::uint64_t
+    node(NodeId node, VmItem item) const
+    {
+        const auto n = static_cast<std::size_t>(node);
+        return n < perNode_.size()
+                   ? perNode_[n][static_cast<std::size_t>(item)]
+                   : 0;
+    }
+
+    /** Sum of the per-node counts for @p item (<= global). */
+    std::uint64_t nodeSum(VmItem item) const;
+
+    /**
+     * Flat snapshot: "pgscan_active" -> global count, plus
+     * "node<N>.pgscan_active" for every node with a nonzero count.
+     */
+    std::map<std::string, std::uint64_t> snapshot() const;
+
+    /** Global counters only, in enum order (for the sampler). */
+    std::array<std::uint64_t, kNumVmItems>
+    globals() const
+    {
+        return global_;
+    }
+
+  private:
+    std::array<std::uint64_t, kNumVmItems> global_{};
+    std::vector<std::array<std::uint64_t, kNumVmItems>> perNode_;
+};
+
+}  // namespace stats
+}  // namespace mclock
+
+#endif  // MCLOCK_STATS_VMSTAT_HH_

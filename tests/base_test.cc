@@ -126,6 +126,8 @@ TEST(RngTest, ForkIsIndependent)
 
 struct ListItem
 {
+    ListItem() = default;
+    explicit ListItem(int v) : value(v) {}
     int value = 0;
     ListHook hook;
 };

@@ -1,0 +1,548 @@
+/**
+ * @file
+ * Tests for the kernel-style stats subsystem (src/stats/) and its
+ * integration contract:
+ *
+ *  - VmStat: per-node + global attribution, snapshots, stable names;
+ *  - TraceBuffer: ring semantics (overwrite, drop accounting), bound
+ *    clock stamping, JSONL export;
+ *  - VmstatSampler: cumulative time series and CSV shape;
+ *  - counter invariants: every factory policy's counters agree with
+ *    the simulator's independent ground-truth accounting, and a
+ *    deliberately corrupted counter is detected;
+ *  - differential: harness scenario promotion/demotion counts derived
+ *    from the new counters match the legacy per-scenario metrics
+ *    (Fig. 5 policy sweep and Fig. 8 windowed promotions);
+ *  - determinism: merged vmstat output and stats artifacts are
+ *    bit-identical across --jobs counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "base/units.hh"
+#include "harness/golden.hh"
+#include "harness/invariants.hh"
+#include "harness/profiles.hh"
+#include "harness/runner.hh"
+#include "policies/factory.hh"
+#include "sim/machine.hh"
+#include "sim/simulator.hh"
+#include "stats/sampler.hh"
+#include "stats/tracepoint.hh"
+#include "stats/vmstat.hh"
+#include "workloads/ycsb.hh"
+
+using namespace mclock;
+using namespace mclock::harness;
+using stats::TraceBuffer;
+using stats::TraceEvent;
+using stats::TraceEventType;
+using stats::VmItem;
+using stats::VmStat;
+using stats::VmstatSampler;
+
+namespace {
+
+RunContext
+smallContext()
+{
+    RunContext ctx = goldenContext();
+    ctx.params["ops"] = 20000;
+    ctx.params["seconds"] = 6;
+    ctx.params["trials"] = 1;
+    return ctx;
+}
+
+RunnerOptions
+quietOptions(unsigned jobs, const RunContext &ctx)
+{
+    RunnerOptions opts;
+    opts.jobs = jobs;
+    opts.quiet = true;
+    opts.writeArtifacts = false;
+    opts.context = ctx;
+    return opts;
+}
+
+// --- VmStat ---------------------------------------------------------------
+
+TEST(VmStatTest, GlobalAndPerNodeAttribution)
+{
+    VmStat vs(2);
+    vs.add(VmItem::PgscanActive, 0, 3);
+    vs.add(VmItem::PgscanActive, 1, 2);
+    vs.add(VmItem::PgscanActive);  // kInvalidNode: global only
+    EXPECT_EQ(vs.global(VmItem::PgscanActive), 6u);
+    EXPECT_EQ(vs.node(0, VmItem::PgscanActive), 3u);
+    EXPECT_EQ(vs.node(1, VmItem::PgscanActive), 2u);
+    EXPECT_EQ(vs.nodeSum(VmItem::PgscanActive), 5u);
+    EXPECT_EQ(vs.global(VmItem::Pgdemote), 0u);
+}
+
+TEST(VmStatTest, OutOfRangeNodeStillCountsGlobally)
+{
+    VmStat vs(2);
+    vs.add(VmItem::Pswpin, 7);
+    EXPECT_EQ(vs.global(VmItem::Pswpin), 1u);
+    EXPECT_EQ(vs.nodeSum(VmItem::Pswpin), 0u);
+    EXPECT_EQ(vs.node(7, VmItem::Pswpin), 0u);
+}
+
+TEST(VmStatTest, ZeroDeltaIsANoop)
+{
+    VmStat vs(1);
+    vs.add(VmItem::Pgsteal, 0, 0);
+    EXPECT_EQ(vs.global(VmItem::Pgsteal), 0u);
+    EXPECT_EQ(vs.snapshot().at("pgsteal"), 0u);
+}
+
+TEST(VmStatTest, SnapshotHasAllGlobalsAndOnlyNonzeroNodeKeys)
+{
+    VmStat vs(2);
+    vs.add(VmItem::PgscanActive, 0, 3);
+    vs.add(VmItem::Pswpin);  // global only
+    const auto snap = vs.snapshot();
+    // Every global item is present, even at zero.
+    for (std::size_t i = 0; i < stats::kNumVmItems; ++i) {
+        const auto item = static_cast<VmItem>(i);
+        ASSERT_TRUE(snap.count(stats::vmItemName(item)))
+            << stats::vmItemName(item);
+    }
+    EXPECT_EQ(snap.at("pgscan_active"), 3u);
+    EXPECT_EQ(snap.at("pswpin"), 1u);
+    EXPECT_EQ(snap.at("pgdemote"), 0u);
+    // Per-node keys appear only for nonzero counts.
+    EXPECT_EQ(snap.at("node0.pgscan_active"), 3u);
+    EXPECT_EQ(snap.count("node1.pgscan_active"), 0u);
+    EXPECT_EQ(snap.count("node0.pswpin"), 0u);
+}
+
+TEST(VmStatTest, ItemNamesAreStableAndUnique)
+{
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < stats::kNumVmItems; ++i) {
+        const std::string name =
+            stats::vmItemName(static_cast<VmItem>(i));
+        EXPECT_FALSE(name.empty());
+        EXPECT_NE(name, "unknown");
+        names.insert(name);
+    }
+    EXPECT_EQ(names.size(), stats::kNumVmItems);
+    EXPECT_TRUE(names.count("pgscan_active"));
+    EXPECT_TRUE(names.count("pgpromote_success"));
+    EXPECT_TRUE(names.count("kpromoted_wake"));
+}
+
+TEST(VmStatTest, ResizeKeepsGlobalCounts)
+{
+    VmStat vs(1);
+    vs.add(VmItem::Pgactivate, 0, 4);
+    vs.resize(3);
+    EXPECT_EQ(vs.numNodes(), 3u);
+    EXPECT_EQ(vs.global(VmItem::Pgactivate), 4u);
+}
+
+// --- TraceBuffer ----------------------------------------------------------
+
+TEST(TraceBufferTest, ZeroCapacityDisablesRecording)
+{
+    TraceBuffer buf(0);
+    EXPECT_FALSE(buf.enabled());
+    buf.record(TraceEventType::KswapdWake, 0);
+    EXPECT_EQ(buf.size(), 0u);
+    EXPECT_EQ(buf.recorded(), 0u);
+    EXPECT_TRUE(buf.events().empty());
+}
+
+TEST(TraceBufferTest, RingOverwritesOldestAndCountsDrops)
+{
+    TraceBuffer buf(4);
+    for (std::uint64_t i = 0; i < 6; ++i)
+        buf.record(TraceEventType::ListRotation, 0, i);
+    EXPECT_EQ(buf.size(), 4u);
+    EXPECT_EQ(buf.dropped(), 2u);
+    EXPECT_EQ(buf.recorded(), 6u);
+    const auto events = buf.events();
+    ASSERT_EQ(events.size(), 4u);
+    // Oldest surviving first: events 2..5.
+    for (std::uint64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(events[i].arg0, i + 2);
+}
+
+TEST(TraceBufferTest, BoundClockStampsEvents)
+{
+    TraceBuffer buf(8);
+    SimTime clock = 5;
+    buf.bindClock(&clock);
+    buf.record(TraceEventType::MigrationStart, 1);
+    clock = 9;
+    buf.record(TraceEventType::MigrationComplete, 1);
+    const auto events = buf.events();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].time, 5u);
+    EXPECT_EQ(events[1].time, 9u);
+}
+
+TEST(TraceBufferTest, ClearResetsEverything)
+{
+    TraceBuffer buf(2);
+    buf.record(TraceEventType::KswapdWake, 0);
+    buf.record(TraceEventType::KswapdWake, 0);
+    buf.record(TraceEventType::KswapdWake, 0);
+    EXPECT_EQ(buf.dropped(), 1u);
+    buf.clear();
+    EXPECT_EQ(buf.size(), 0u);
+    EXPECT_EQ(buf.dropped(), 0u);
+    EXPECT_EQ(buf.recorded(), 0u);
+    // Still usable after clear.
+    buf.record(TraceEventType::KswapdWake, 0, 42);
+    ASSERT_EQ(buf.events().size(), 1u);
+    EXPECT_EQ(buf.events()[0].arg0, 42u);
+}
+
+TEST(TraceBufferTest, EventNamesAreStableAndUnique)
+{
+    const TraceEventType types[] = {
+        TraceEventType::MigrationStart, TraceEventType::MigrationComplete,
+        TraceEventType::ListRotation,   TraceEventType::KswapdWake,
+        TraceEventType::KpromotedWake,  TraceEventType::WatermarkCross,
+    };
+    std::set<std::string> names;
+    for (const auto t : types) {
+        const std::string name = stats::traceEventName(t);
+        EXPECT_FALSE(name.empty());
+        EXPECT_NE(name, "unknown");
+        names.insert(name);
+    }
+    EXPECT_EQ(names.size(), 6u);
+}
+
+TEST(TraceBufferTest, JsonlExportFormat)
+{
+    TraceBuffer buf(4);
+    SimTime clock = 123;
+    buf.bindClock(&clock);
+    buf.record(TraceEventType::KswapdWake, 0, 7, 9);
+    std::string out;
+    stats::appendTraceJsonl(out, buf.events(), "u");
+    EXPECT_EQ(out,
+              "{\"unit\":\"u\",\"t\":123,\"ev\":\"kswapd_wake\","
+              "\"node\":0,\"arg0\":7,\"arg1\":9}\n");
+}
+
+// --- VmstatSampler --------------------------------------------------------
+
+TEST(VmstatSamplerTest, SamplesAreCumulative)
+{
+    VmStat vs(1);
+    VmstatSampler sampler(vs);
+    vs.add(VmItem::PgscanActive, 0, 2);
+    sampler.sample(10);
+    vs.add(VmItem::PgscanActive, 0, 3);
+    vs.add(VmItem::Pswpout, 0);
+    sampler.sample(20);
+    const auto &samples = sampler.samples();
+    ASSERT_EQ(samples.size(), 2u);
+    const auto active = static_cast<std::size_t>(VmItem::PgscanActive);
+    const auto swpout = static_cast<std::size_t>(VmItem::Pswpout);
+    EXPECT_EQ(samples[0].time, 10u);
+    EXPECT_EQ(samples[0].counters[active], 2u);
+    EXPECT_EQ(samples[0].counters[swpout], 0u);
+    EXPECT_EQ(samples[1].counters[active], 5u);
+    EXPECT_EQ(samples[1].counters[swpout], 1u);
+}
+
+TEST(VmstatSamplerTest, CsvHasHeaderAndOneRowPerSample)
+{
+    VmStat vs(1);
+    VmstatSampler sampler(vs);
+    vs.add(VmItem::PgscanActive, 0, 2);
+    sampler.sample(10);
+    sampler.sample(20);
+    const std::string csv = sampler.toCsv();
+    EXPECT_EQ(csv.rfind("time_ns,pgscan_active,", 0), 0u);
+    std::size_t lines = 0;
+    for (char c : csv) {
+        if (c == '\n')
+            ++lines;
+    }
+    EXPECT_EQ(lines, 3u);  // header + two samples
+    EXPECT_NE(csv.find("\n10,2,"), std::string::npos);
+    EXPECT_NE(csv.find("\n20,2,"), std::string::npos);
+    // Each row carries every item: comma count per line is stable.
+    const std::size_t headerEnd = csv.find('\n');
+    std::size_t commas = 0;
+    for (std::size_t i = 0; i < headerEnd; ++i) {
+        if (csv[i] == ',')
+            ++commas;
+    }
+    EXPECT_EQ(commas, stats::kNumVmItems);
+}
+
+// --- Counter invariants against ground truth ------------------------------
+
+TEST(StatsIntegration, MulticlockCountersMatchGroundTruth)
+{
+    sim::MachineConfig machine = goldenYcsbMachine();
+    machine.stats.sampler = true;  // exercise the sampler daemon too
+    sim::Simulator sim(machine);
+    sim.setPolicy(
+        policies::makePolicy("multiclock", benchPolicyOptions()));
+    workloads::YcsbDriver driver(sim, goldenYcsbConfig(20000));
+    driver.load();
+    driver.run(workloads::YcsbWorkload::A);
+
+    const auto violations = collectViolations(sim);
+    EXPECT_TRUE(violations.empty()) << violations.front();
+    const auto counterViolations = collectCounterViolations(sim);
+    EXPECT_TRUE(counterViolations.empty()) << counterViolations.front();
+
+    const VmStat &vs = sim.vmstat();
+    // The workload overflows DRAM, so the full tiering machinery ran.
+    EXPECT_GT(vs.global(VmItem::PgpromoteSuccess), 0u);
+    EXPECT_EQ(vs.global(VmItem::PgpromoteSuccess),
+              sim.metrics().totalPromotions());
+    EXPECT_EQ(vs.global(VmItem::Pgdemote),
+              sim.metrics().totalDemotions());
+    EXPECT_GT(vs.global(VmItem::KpromotedWake), 0u);
+    EXPECT_GT(vs.global(VmItem::PgscanPromote), 0u);
+
+    // Tracepoints: recorded, stamped with nondecreasing simulated time.
+    const auto events = sim.trace().events();
+    ASSERT_FALSE(events.empty());
+    EXPECT_EQ(sim.trace().recorded(),
+              sim.trace().dropped() + events.size());
+    for (std::size_t i = 1; i < events.size(); ++i)
+        ASSERT_GE(events[i].time, events[i - 1].time) << i;
+
+    // Sampler: several samples, strictly increasing time, monotone
+    // cumulative counters.
+    ASSERT_NE(sim.sampler(), nullptr);
+    const auto &samples = sim.sampler()->samples();
+    ASSERT_GE(samples.size(), 2u);
+    for (std::size_t i = 1; i < samples.size(); ++i) {
+        ASSERT_GT(samples[i].time, samples[i - 1].time) << i;
+        for (std::size_t item = 0; item < stats::kNumVmItems; ++item) {
+            ASSERT_GE(samples[i].counters[item],
+                      samples[i - 1].counters[item])
+                << "sample " << i << " item "
+                << stats::vmItemName(static_cast<VmItem>(item));
+        }
+    }
+    // The last sample never exceeds the final counter values.
+    const auto finals = vs.globals();
+    for (std::size_t item = 0; item < stats::kNumVmItems; ++item)
+        EXPECT_LE(samples.back().counters[item], finals[item]);
+}
+
+TEST(StatsIntegration, SamplerIsOffByDefault)
+{
+    sim::Simulator sim(goldenYcsbMachine());
+    sim.setPolicy(policies::makePolicy("multiclock"));
+    EXPECT_EQ(sim.sampler(), nullptr);
+}
+
+TEST(StatsIntegration, CorruptedCounterIsDetected)
+{
+    sim::Simulator sim(sim::tinyTestMachine());
+    sim.setPolicy(policies::makePolicy("multiclock"));
+    EXPECT_TRUE(collectCounterViolations(sim).empty());
+    // A phantom promotion no migration backs must trip the checker.
+    sim.vmstat().add(VmItem::PgpromoteSuccess, 0);
+    EXPECT_FALSE(collectCounterViolations(sim).empty());
+}
+
+/** Every factory policy's counters must agree with the ground truth. */
+class PolicyCounterConsistency
+    : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(PolicyCounterConsistency, CountersMatchLegacyAccounting)
+{
+    const std::string policy = GetParam();
+    sim::MachineConfig machine = goldenYcsbMachine();
+    if (policy == "memory-mode")
+        machine.nodes = {{TierKind::Pmem, 24_MiB}};
+    auto opts = benchPolicyOptions();
+    opts.dramCacheBytes = 4_MiB;
+    sim::Simulator sim(machine);
+    sim.setPolicy(policies::makePolicy(policy, opts));
+    workloads::YcsbDriver driver(sim, goldenYcsbConfig(15000));
+    driver.load();
+    driver.run(workloads::YcsbWorkload::A);
+
+    const auto violations = collectCounterViolations(sim);
+    EXPECT_TRUE(violations.empty())
+        << policy << ": " << violations.front();
+    // Spot-check the headline equalities independently of the library.
+    EXPECT_EQ(sim.vmstat().global(VmItem::PgpromoteSuccess),
+              sim.metrics().totalPromotions())
+        << policy;
+    EXPECT_EQ(sim.vmstat().global(VmItem::Pgdemote),
+              sim.metrics().totalDemotions())
+        << policy;
+    EXPECT_EQ(sim.vmstat().global(VmItem::PghintFault),
+              static_cast<std::uint64_t>(
+                  sim.stats().get("hint_faults")))
+        << policy;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFactoryPolicies, PolicyCounterConsistency,
+    ::testing::ValuesIn(policies::policyNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (auto &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+// --- Differential: counters vs legacy scenario metrics --------------------
+
+/**
+ * For every "<unit>.promotions" / "<unit>.demotions" metric a scenario
+ * reports through the legacy accounting, the merged vmstat counters
+ * must report the same value as "<unit>.pgpromote_success" /
+ * "<unit>.pgdemote". Reports the number of metrics compared through
+ * @p compared (gtest ASSERT_* needs a void function).
+ */
+void
+expectCountersMatchSummary(const ScenarioOutput &output,
+                           std::size_t *compared)
+{
+    *compared = 0;
+    const struct
+    {
+        const char *legacy;
+        const char *counter;
+    } pairs[] = {{".promotions", ".pgpromote_success"},
+                 {".demotions", ".pgdemote"}};
+    for (const auto &[key, value] : output.summary) {
+        for (const auto &p : pairs) {
+            const std::string suffix = p.legacy;
+            if (key.size() <= suffix.size() ||
+                key.compare(key.size() - suffix.size(), suffix.size(),
+                            suffix) != 0)
+                continue;
+            const std::string unit =
+                key.substr(0, key.size() - suffix.size());
+            // Skip derived per-window metrics ("multiclock.w003.
+            // promotions"); only unit totals have counter analogues.
+            if (unit.find('.') != std::string::npos)
+                continue;
+            const auto it = output.vmstat.find(unit + p.counter);
+            ASSERT_NE(it, output.vmstat.end()) << key << " has no "
+                                               << unit << p.counter;
+            EXPECT_EQ(static_cast<double>(it->second), value) << key;
+            ++*compared;
+        }
+    }
+}
+
+TEST(StatsDifferential, Fig05PolicySweepPromotionsMatch)
+{
+    // Fig. 5 runs MULTI-CLOCK and all four tiered baselines; each
+    // unit's legacy promotion/demotion metrics must equal the counts
+    // the new counters observed.
+    const auto result =
+        runScenario("fig05", quietOptions(2, smallContext()));
+    EXPECT_TRUE(result.output.violations.empty());
+    std::size_t compared = 0;
+    expectCountersMatchSummary(result.output, &compared);
+    // Two metrics per tiered policy.
+    EXPECT_GE(compared, 2 * policies::tieredPolicyNames().size());
+}
+
+TEST(StatsDifferential, Fig08WindowedPromotionsMatch)
+{
+    // Fig. 8 (promotions per window) is the paper figure the counters
+    // exist for; its cumulative totals must agree with the legacy
+    // accounting, and the scenario-total key must sum the units.
+    const auto result =
+        runScenario("fig08", quietOptions(2, smallContext()));
+    EXPECT_TRUE(result.output.violations.empty());
+    std::size_t compared = 0;
+    expectCountersMatchSummary(result.output, &compared);
+    EXPECT_GE(compared, 2u);
+
+    std::uint64_t unitSum = 0;
+    for (const auto &[key, value] : result.output.vmstat) {
+        const std::string suffix = ".pgpromote_success";
+        if (key.size() > suffix.size() &&
+            key.compare(key.size() - suffix.size(), suffix.size(),
+                        suffix) == 0 &&
+            key.find("node") == std::string::npos)
+            unitSum += value;
+    }
+    ASSERT_TRUE(result.output.vmstat.count("pgpromote_success"));
+    EXPECT_EQ(result.output.vmstat.at("pgpromote_success"), unitSum);
+    EXPECT_GT(unitSum, 0u);
+}
+
+// --- Determinism across job counts ----------------------------------------
+
+TEST(StatsDeterminism, VmstatIdenticalAcrossJobCounts)
+{
+    const auto ctx = smallContext();
+    const auto serial = runScenario("fig08", quietOptions(1, ctx));
+    const auto parallel = runScenario("fig08", quietOptions(4, ctx));
+    EXPECT_FALSE(serial.output.vmstat.empty());
+    EXPECT_EQ(serial.output.vmstat, parallel.output.vmstat);
+    EXPECT_EQ(serial.output.summary, parallel.output.summary);
+}
+
+TEST(StatsDeterminism, StatsArtifactsIdenticalAcrossJobCounts)
+{
+    auto ctx = smallContext();
+    ctx.stats = true;  // what mclock_bench --stats sets
+    const auto serial = runScenario("fig08", quietOptions(1, ctx));
+    const auto parallel = runScenario("fig08", quietOptions(4, ctx));
+
+    const auto &a = serial.output.statsArtifacts;
+    const auto &b = parallel.output.statsArtifacts;
+    ASSERT_FALSE(a.empty());
+    ASSERT_EQ(a.size(), b.size());
+    bool sawCsv = false, sawJsonl = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].filename, b[i].filename);
+        EXPECT_EQ(a[i].contents, b[i].contents) << a[i].filename;
+        if (a[i].filename.find("vmstat.csv") != std::string::npos) {
+            sawCsv = true;
+            EXPECT_EQ(a[i].contents.rfind("time_ns,", 0), 0u)
+                << a[i].filename;
+        }
+        if (a[i].filename.find("trace.jsonl") != std::string::npos) {
+            sawJsonl = true;
+            if (!a[i].contents.empty()) {
+                EXPECT_EQ(a[i].contents.rfind("{\"unit\":", 0), 0u)
+                    << a[i].filename;
+            }
+        }
+    }
+    EXPECT_TRUE(sawCsv);
+    EXPECT_TRUE(sawJsonl);
+    // Stats mode must not perturb the simulation itself.
+    EXPECT_EQ(serial.output.summary, parallel.output.summary);
+}
+
+TEST(StatsDeterminism, StatsModeDoesNotChangeResults)
+{
+    auto plain = smallContext();
+    auto withStats = plain;
+    withStats.stats = true;
+    const auto a = runScenario("fig08", quietOptions(2, plain));
+    const auto b = runScenario("fig08", quietOptions(2, withStats));
+    EXPECT_EQ(a.output.summary, b.output.summary);
+    EXPECT_EQ(a.output.text, b.output.text);
+    EXPECT_EQ(a.output.vmstat, b.output.vmstat);
+}
+
+}  // namespace

@@ -158,6 +158,68 @@ TEST(WindowAnalysisTest, PerfOnlyPagesIgnored)
     EXPECT_DOUBLE_EQ(r.ratio(), 0.0);
 }
 
+TEST(WindowAnalysisTest, EmptyTraceYieldsZeroes)
+{
+    AccessTrace trace;
+    const WindowAnalysisResult r = analyzeWindows(trace, 100, 100);
+    EXPECT_EQ(r.singleSamples, 0u);
+    EXPECT_EQ(r.multiSamples, 0u);
+    EXPECT_DOUBLE_EQ(r.singleMeanPerfAccesses, 0.0);
+    EXPECT_DOUBLE_EQ(r.multiMeanPerfAccesses, 0.0);
+    EXPECT_DOUBLE_EQ(r.ratio(), 0.0);
+}
+
+TEST(WindowAnalysisTest, ObsOnlyAccessesCountWithZeroPerfMean)
+{
+    AccessTrace trace;
+    // Single pair, both pages touched only during observation: they
+    // still produce samples (one single, one multi) whose performance
+    // means are zero, so the ratio stays zero rather than dividing by
+    // a zero single-window mean.
+    trace.record(1, 10);
+    trace.record(2, 20);
+    trace.record(2, 30);
+    const WindowAnalysisResult r = analyzeWindows(trace, 100, 100);
+    EXPECT_EQ(r.singleSamples, 1u);
+    EXPECT_EQ(r.multiSamples, 1u);
+    EXPECT_DOUBLE_EQ(r.singleMeanPerfAccesses, 0.0);
+    EXPECT_DOUBLE_EQ(r.multiMeanPerfAccesses, 0.0);
+    EXPECT_DOUBLE_EQ(r.ratio(), 0.0);
+}
+
+TEST(WindowAnalysisTest, TraceShorterThanOnePeriod)
+{
+    AccessTrace trace;
+    // All events fit inside the first observation window; the partial
+    // pair is still analyzed.
+    trace.record(5, 1);
+    trace.record(5, 2);
+    trace.record(6, 3);
+    const WindowAnalysisResult r =
+        analyzeWindows(trace, 1000, 1000);
+    EXPECT_EQ(r.multiSamples, 1u);
+    EXPECT_EQ(r.singleSamples, 1u);
+    EXPECT_DOUBLE_EQ(r.multiMeanPerfAccesses, 0.0);
+    EXPECT_DOUBLE_EQ(r.singleMeanPerfAccesses, 0.0);
+}
+
+TEST(WindowAnalysisTest, AsymmetricWindowBoundaries)
+{
+    AccessTrace trace;
+    // obs=10, perf=90: period 100. An access at t=10 is already in
+    // the performance window, so page 1 is perf-only in pair 0 and
+    // ignored there; its obs access in pair 1 (t=105) makes it a
+    // single sample with 2 perf accesses (t=115, 160).
+    trace.record(1, 10);
+    trace.record(1, 105);
+    trace.record(1, 115);
+    trace.record(1, 160);
+    const WindowAnalysisResult r = analyzeWindows(trace, 10, 90);
+    EXPECT_EQ(r.singleSamples, 1u);
+    EXPECT_EQ(r.multiSamples, 0u);
+    EXPECT_DOUBLE_EQ(r.singleMeanPerfAccesses, 2.0);
+}
+
 
 // --- Cross-module: the motivation pipeline end-to-end -------------------------
 

@@ -191,5 +191,55 @@ TEST(SwapDeviceTest, UnlimitedCapacity)
     EXPECT_TRUE(swap.hasSpace());
 }
 
+TEST(SwapDeviceTest, SlotFreedByPageInIsReusable)
+{
+    AddressSpace space;
+    SwapDevice swap(1);
+    Page a(&space, 0, true);
+    Page b(&space, 1, true);
+    swap.pageOut(&a);
+    EXPECT_FALSE(swap.hasSpace());
+    swap.pageIn(&a);
+    // The freed slot serves a different page.
+    EXPECT_TRUE(swap.hasSpace());
+    swap.pageOut(&b);
+    EXPECT_EQ(swap.usedSlots(), 1u);
+    EXPECT_FALSE(swap.hasSpace());
+}
+
+TEST(SwapDeviceTest, ExhaustionCycleKeepsCumulativeCounters)
+{
+    AddressSpace space;
+    SwapDevice swap(2);
+    Page a(&space, 0, true);
+    Page b(&space, 1, true);
+    // Three full out/in cycles through a 2-slot device: occupancy
+    // returns to zero each cycle while the traffic counters accumulate.
+    for (int cycle = 0; cycle < 3; ++cycle) {
+        swap.pageOut(&a);
+        swap.pageOut(&b);
+        EXPECT_FALSE(swap.hasSpace());
+        EXPECT_EQ(swap.usedSlots(), 2u);
+        swap.pageIn(&b);
+        swap.pageIn(&a);
+        EXPECT_EQ(swap.usedSlots(), 0u);
+    }
+    EXPECT_EQ(swap.pageOuts(), 6u);
+    EXPECT_EQ(swap.pageIns(), 6u);
+}
+
+TEST(SwapDeviceTest, PageInWithoutSlotIsHarmless)
+{
+    AddressSpace space;
+    SwapDevice swap(1);
+    Page a(&space, 0, true);
+    // A file-backed-style page-in (or a page never swapped out) must
+    // not underflow the slot accounting.
+    swap.pageIn(&a);
+    EXPECT_EQ(swap.usedSlots(), 0u);
+    EXPECT_EQ(swap.pageIns(), 1u);
+    EXPECT_TRUE(swap.hasSpace());
+}
+
 }  // namespace
 }  // namespace mclock
