@@ -49,7 +49,7 @@ main()
     });
     std::printf("picked page vpn=%llu, born in %s\n",
                 static_cast<unsigned long long>(victim->vpn()),
-                tierName(sim.pageTier(victim)));
+                sim.memConfig().tierName(sim.pageTier(victim)));
 
     // 5. Hammer that page. kpromoted wakes every second; after a few
     //    scans the page walks inactive -> active -> promote -> DRAM.
@@ -61,7 +61,7 @@ main()
         }
         ++second;
         std::printf("t=%ds: page is in %s (list=%s)\n", second,
-                    tierName(sim.pageTier(victim)),
+                    sim.memConfig().tierName(sim.pageTier(victim)),
                     lruListName(victim->list()));
     }
 

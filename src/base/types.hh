@@ -33,21 +33,26 @@ constexpr unsigned kPageShift = 12;
 /** Simulated page size in bytes (4 KiB, matching the paper's base pages). */
 constexpr std::size_t kPageSize = std::size_t{1} << kPageShift;
 
-/** Memory tier kinds, ordered from higher- to lower-performing. */
-enum class TierKind : std::uint8_t {
-    Dram = 0,  ///< High performance, low capacity.
-    Pmem = 1,  ///< Lower performance, high capacity (Optane-like).
-};
+/**
+ * Memory tier rank: an index into the machine's rank-ordered tier table
+ * (MemoryConfig::tiers). Rank 0 is the fastest tier; higher ranks are
+ * progressively slower (and typically larger). kInvalidTier means "no
+ * tier".
+ */
+using TierRank = int;
+constexpr TierRank kInvalidTier = -1;
 
-/** Number of distinct tier kinds. */
-constexpr int kNumTierKinds = 2;
-
-/** Human-readable tier name. */
-inline const char *
-tierName(TierKind kind)
+/**
+ * Two-tier compatibility aliases. The original model hard-coded a
+ * DRAM/PM pair; existing configs spell tiers as TierKind::Dram /
+ * TierKind::Pmem, which map onto ranks 0 and 1 of the default tier
+ * table. New code should use plain ranks.
+ */
+struct TierKind
 {
-    return kind == TierKind::Dram ? "DRAM" : "PMEM";
-}
+    static constexpr TierRank Dram = 0;
+    static constexpr TierRank Pmem = 1;
+};
 
 inline constexpr PageNum
 pageNumOf(Vaddr va)

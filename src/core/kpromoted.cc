@@ -129,8 +129,8 @@ Kpromoted::shrinkPromoteList(sim::Node &node, bool anon, std::size_t budget,
     // forcing room: promoting into a uniformly warm tier is churn.
     bool demotionExhausted = false;
 
-    TierKind up;
-    const bool hasHigher = mem.higherTier(node.kind(), up);
+    TierRank up;
+    const bool hasHigher = mem.higherTier(node.tier(), up);
 
     for (std::size_t i = 0; i < toScan; ++i) {
         Page *pg = promote.back();

@@ -30,8 +30,8 @@ MultiClockPolicy::attach(sim::Simulator &sim)
     for (std::size_t i = 0; i < mem.numNodes(); ++i) {
         const NodeId id = static_cast<NodeId>(i);
         kpromoted_.push_back(std::make_unique<Kpromoted>(*this, sim, id));
-        TierKind up;
-        if (mem.higherTier(mem.node(id).kind(), up)) {
+        TierRank up;
+        if (mem.higherTier(mem.node(id).tier(), up)) {
             Kpromoted *kp = kpromoted_.back().get();
             daemonIds_.push_back(sim.daemons().add(
                 "kpromoted/" + std::to_string(id), cfg_.scanInterval,
@@ -102,8 +102,8 @@ MultiClockPolicy::handlePressure(sim::Node &node)
 
     // Step 3: demote unreferenced inactive-tail pages one tier down; on
     // the lowest tier, write back to block storage instead.
-    TierKind down;
-    const bool hasLower = mem.lowerTier(node.kind(), down);
+    TierRank down;
+    const bool hasLower = mem.lowerTier(node.tier(), down);
     std::size_t remaining = cfg_.pressureBudget;
     bool progress = true;
     while (!node.aboveHigh() && remaining > 0 && progress) {
@@ -134,7 +134,7 @@ MultiClockPolicy::handlePressure(sim::Node &node)
 }
 
 std::size_t
-MultiClockPolicy::demoteFromTier(TierKind tier, std::size_t target)
+MultiClockPolicy::demoteFromTier(TierRank tier, std::size_t target)
 {
     auto &mem = sim_->memory();
     // A page is demotion-worthy only if it has been idle for at least

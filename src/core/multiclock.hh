@@ -94,7 +94,7 @@ class MultiClockPolicy : public policies::TieringPolicy
      * when the tier is uniformly warm, which back-pressures promotion
      * instead of churning warm pages.
      */
-    std::size_t demoteFromTier(TierKind tier, std::size_t target);
+    std::size_t demoteFromTier(TierRank tier, std::size_t target);
 
     /** Adjust the kpromoted period at runtime (Fig. 10 sweeps). */
     void setScanInterval(SimTime interval);

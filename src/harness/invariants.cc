@@ -235,6 +235,57 @@ collectCounterViolations(sim::Simulator &sim)
                       static_cast<unsigned long long>(vm.global(item)));
         }
     }
+
+    // Tier topology: every node belongs to exactly one rank bucket, the
+    // rank buckets partition the machine, and per-tier frame occupancy
+    // reconciles with the per-node books for every tier present.
+    auto &mem = sim.memory();
+    std::size_t bucketNodes = 0;
+    std::size_t bucketTotal = 0;
+    std::size_t bucketUsed = 0;
+    for (TierRank rank : mem.tierOrder()) {
+        std::size_t tierTotal = 0;
+        std::size_t tierUsed = 0;
+        std::size_t tierFree = 0;
+        for (NodeId id : mem.tier(rank)) {
+            const auto &node = mem.node(id);
+            if (node.tier() != rank) {
+                violation(out,
+                          "node %d in tier %d's bucket but placed on "
+                          "tier %d",
+                          static_cast<int>(id), rank, node.tier());
+            }
+            ++bucketNodes;
+            tierTotal += node.totalFrames();
+            tierUsed += node.usedFrames();
+            tierFree += node.freeFrames();
+        }
+        if (tierTotal != tierUsed + tierFree) {
+            violation(out,
+                      "tier %d occupancy mismatch: %zu frames total but "
+                      "%zu used + %zu free",
+                      rank, tierTotal, tierUsed, tierFree);
+        }
+        bucketTotal += tierTotal;
+        bucketUsed += tierUsed;
+    }
+    std::size_t machineTotal = 0;
+    std::size_t machineUsed = 0;
+    mem.forEachNode([&](sim::Node &node) {
+        machineTotal += node.totalFrames();
+        machineUsed += node.usedFrames();
+    });
+    if (bucketNodes != mem.numNodes()) {
+        violation(out,
+                  "tier buckets cover %zu nodes but the machine has %zu",
+                  bucketNodes, mem.numNodes());
+    }
+    if (bucketTotal != machineTotal || bucketUsed != machineUsed) {
+        violation(out,
+                  "tier occupancy sums (%zu/%zu used/total) diverge from "
+                  "node totals (%zu/%zu)",
+                  bucketUsed, bucketTotal, machineUsed, machineTotal);
+    }
     return out;
 }
 

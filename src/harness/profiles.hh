@@ -201,6 +201,63 @@ goldenGapbsConfig()
     return cfg;
 }
 
+// --- Three-tier (DRAM/CXL/PM) profiles ----------------------------------
+
+/**
+ * YCSB machine for the tier3_* scenarios: the three-tier timing table
+ * from sim::paperMachineThreeTier() with node capacities sized so the
+ * YCSB footprint overflows DRAM+CXL into PM (accesses reach all three
+ * tiers).
+ */
+inline sim::MachineConfig
+tier3YcsbMachine()
+{
+    sim::MachineConfig cfg = sim::paperMachineThreeTier();
+    cfg.nodes = {{0, 8_MiB}, {1, 16_MiB}, {2, 96_MiB}};
+    cfg.cache.sizeBytes = 64_KiB;
+    cfg.cache.ways = 8;
+    cfg.metricsWindow = kMetricsWindow;
+    return cfg;
+}
+
+/** GAPBS machine for tier3_pagerank. */
+inline sim::MachineConfig
+tier3GapbsMachine()
+{
+    sim::MachineConfig cfg = sim::paperMachineThreeTier();
+    cfg.nodes = {{0, 4_MiB}, {1, 8_MiB}, {2, 32_MiB}};
+    cfg.cache.sizeBytes = 256_KiB;
+    cfg.metricsWindow = kMetricsWindow;
+    return cfg;
+}
+
+/** Golden three-tier YCSB machine (~4x smaller, short windows). */
+inline sim::MachineConfig
+goldenTier3YcsbMachine()
+{
+    sim::MachineConfig cfg = sim::paperMachineThreeTier();
+    cfg.nodes = {{0, 2_MiB}, {1, 4_MiB}, {2, 24_MiB}};
+    cfg.cache.sizeBytes = 32_KiB;
+    cfg.cache.ways = 8;
+    cfg.metricsWindow = 20_ms;
+    return cfg;
+}
+
+/**
+ * Golden three-tier GAPBS machine. DRAM+CXL deliberately hold less
+ * than the golden graph (~0.6 MiB CSR + properties) so PageRank
+ * exercises all three tiers even at regression scale.
+ */
+inline sim::MachineConfig
+goldenTier3GapbsMachine()
+{
+    sim::MachineConfig cfg = sim::paperMachineThreeTier();
+    cfg.nodes = {{0, 128_KiB}, {1, 256_KiB}, {2, 12_MiB}};
+    cfg.cache.sizeBytes = 64_KiB;
+    cfg.metricsWindow = 20_ms;
+    return cfg;
+}
+
 }  // namespace harness
 }  // namespace mclock
 

@@ -67,6 +67,7 @@ allScenarios()
         all.push_back(ycsb[2]);   // fig09
         all.push_back(ycsb[3]);   // fig10
         add({ycsb.begin() + 4, ycsb.end()});  // ablations
+        add(makeTier3Scenarios());            // tier3_* (three-tier)
         all.push_back(makeMicroScenario());
         return all;
     }();

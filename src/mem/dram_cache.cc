@@ -16,9 +16,12 @@ DramCache::DramCache(std::size_t dramBytes, const MemoryConfig &cfg,
     MCLOCK_ASSERT(lineBytes > 0 && (lineBytes & (lineBytes - 1)) == 0);
     MCLOCK_ASSERT(numEntries_ > 0 && (numEntries_ & (numEntries_ - 1)) == 0);
     entries_.assign(numEntries_, Entry{});
-    fillCost_ = cfg_.copyLatency(TierKind::Pmem, TierKind::Dram, lineBytes);
-    writebackCost_ =
-        cfg_.copyLatency(TierKind::Dram, TierKind::Pmem, lineBytes);
+    // The near-memory cache sits in the fastest tier of the table and
+    // fronts the slowest (far-memory) tier.
+    const TierRank near = 0;
+    const TierRank far = static_cast<TierRank>(cfg_.numTiers()) - 1;
+    fillCost_ = cfg_.copyLatency(far, near, lineBytes);
+    writebackCost_ = cfg_.copyLatency(near, far, lineBytes);
 }
 
 DramCacheResult
@@ -28,20 +31,22 @@ DramCache::access(Paddr pa, bool isWrite)
     const std::size_t idx = block & (numEntries_ - 1);
     Entry &e = entries_[idx];
 
+    const TierTiming &near = cfg_.timing(0);
+    const TierTiming &far =
+        cfg_.timing(static_cast<TierRank>(cfg_.numTiers()) - 1);
     if (e.tag == block) {
         ++hits_;
         e.dirty = e.dirty || isWrite;
-        const SimTime lat = isWrite ? cfg_.dram.storeLatency
-                                    : cfg_.dram.loadLatency;
+        const SimTime lat =
+            isWrite ? near.storeLatency : near.loadLatency;
         return {true, lat};
     }
 
     ++misses_;
     // 2LM misses are serial: the near-memory tag probe in DRAM comes
     // before the far-memory access.
-    SimTime lat = cfg_.dram.loadLatency +
-                  (isWrite ? cfg_.pmem.storeLatency
-                           : cfg_.pmem.loadLatency);
+    SimTime lat = near.loadLatency +
+                  (isWrite ? far.storeLatency : far.loadLatency);
     if (e.tag != kInvalidTag && e.dirty) {
         ++writebacks_;
         lat += writebackCost_;

@@ -5,7 +5,7 @@
 namespace mclock {
 
 SimTime
-MemoryConfig::copyLatency(TierKind src, TierKind dst, std::size_t bytes) const
+MemoryConfig::copyLatency(TierRank src, TierRank dst, std::size_t bytes) const
 {
     const double srcBw = timing(src).readBandwidth;
     const double dstBw = timing(dst).writeBandwidth;
@@ -14,7 +14,7 @@ MemoryConfig::copyLatency(TierKind src, TierKind dst, std::size_t bytes) const
 }
 
 SimTime
-MemoryConfig::pageMigrationCost(TierKind src, TierKind dst) const
+MemoryConfig::pageMigrationCost(TierRank src, TierRank dst) const
 {
     return migrationFixedCost + copyLatency(src, dst, kPageSize);
 }

@@ -14,6 +14,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "base/types.hh"
 #include "base/units.hh"
@@ -31,13 +33,27 @@ struct TierTiming
     double writeBandwidth;
 };
 
+/** One entry of the rank-ordered tier table. */
+struct TierDesc
+{
+    std::string name;   ///< Human-readable tier name ("DRAM", "CXL", ...).
+    TierTiming timing;  ///< Access timing for this tier.
+};
+
 /** Full timing model for the machine. */
 struct MemoryConfig
 {
-    TierTiming dram{80_ns, 80_ns, 12.0, 12.0};
-    // Optane DCPMM: ~300 ns random load; stores complete into the ADR
-    // buffer faster but sustained write bandwidth is much lower.
-    TierTiming pmem{300_ns, 200_ns, 6.6, 2.3};
+    /**
+     * Rank-ordered tier table; the vector index is the tier rank and
+     * rank 0 is the fastest tier. The default reproduces the paper's
+     * two-tier testbed: DDR4 DRAM at rank 0 and Optane DCPMM at rank 1
+     * (~300 ns random load; stores complete into the ADR buffer faster
+     * but sustained write bandwidth is much lower).
+     */
+    std::vector<TierDesc> tiers{
+        {"DRAM", {80_ns, 80_ns, 12.0, 12.0}},
+        {"PMEM", {300_ns, 200_ns, 6.6, 2.3}},
+    };
 
     /** Cost of a minor page fault (first touch), excluding zero-fill. */
     SimTime minorFaultLatency = 1500_ns;
@@ -66,16 +82,35 @@ struct MemoryConfig
      */
     double backgroundInterference = 0.3;
 
-    const TierTiming &timing(TierKind kind) const
+    /** Number of tiers in the table. */
+    std::size_t numTiers() const { return tiers.size(); }
+
+    /** Full descriptor of the tier at @p rank. */
+    const TierDesc &tier(TierRank rank) const
     {
-        return kind == TierKind::Dram ? dram : pmem;
+        return tiers[static_cast<std::size_t>(rank)];
     }
 
-    /** Latency to copy @p bytes from tier @p src to tier @p dst. */
-    SimTime copyLatency(TierKind src, TierKind dst, std::size_t bytes) const;
+    /** Human-readable name of the tier at @p rank. */
+    const char *tierName(TierRank rank) const
+    {
+        return tier(rank).name.c_str();
+    }
+
+    const TierTiming &timing(TierRank rank) const
+    {
+        return tier(rank).timing;
+    }
+
+    /**
+     * Latency to copy @p bytes from tier @p src to tier @p dst: the
+     * transfer is paced by the slower of the source read and the
+     * destination write bandwidth.
+     */
+    SimTime copyLatency(TierRank src, TierRank dst, std::size_t bytes) const;
 
     /** Total cost of migrating one page from @p src to @p dst. */
-    SimTime pageMigrationCost(TierKind src, TierKind dst) const;
+    SimTime pageMigrationCost(TierRank src, TierRank dst) const;
 };
 
 /** LLC filter-cache parameters; models the on-chip cache hierarchy. */

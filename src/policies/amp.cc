@@ -55,7 +55,9 @@ AmpPolicy::tick(SimTime now)
             pg->locked()) {
             return;
         }
-        if (mem.node(pg->node()).kind() == TierKind::Pmem)
+        // Any page below the top tier is a promotion candidate.
+        TierRank up;
+        if (mem.higherTier(mem.node(pg->node()).tier(), up))
             candidates.push_back(pg);
     });
     sim_->chargeScan(scanned);
@@ -93,7 +95,11 @@ AmpPolicy::tick(SimTime now)
         bool ok = sim_->promotePage(
             pg, sim::Simulator::ChargeMode::Background);
         if (!ok) {
-            for (NodeId id : mem.tier(TierKind::Dram))
+            // Make room in the tier the page would be promoted into.
+            TierRank up;
+            if (!mem.higherTier(mem.node(pg->node()).tier(), up))
+                up = mem.tierOrder().front();
+            for (NodeId id : mem.tier(up))
                 sim_->maybeReclaim(mem.node(id));
             ok = sim_->promotePage(
                 pg, sim::Simulator::ChargeMode::Background);
@@ -123,8 +129,8 @@ void
 AmpPolicy::handlePressure(sim::Node &node)
 {
     auto &mem = sim_->memory();
-    TierKind down;
-    const bool hasLower = mem.lowerTier(node.kind(), down);
+    TierRank down;
+    const bool hasLower = mem.lowerTier(node.tier(), down);
     std::size_t remaining = cfg_.pressureBudget;
     bool progress = true;
     while (!node.aboveHigh() && remaining > 0 && progress) {

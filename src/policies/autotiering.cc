@@ -73,11 +73,13 @@ AutoTieringPolicy::scanTick(SimTime now)
         pg->shiftHistory(pg->hintFaultedSinceScan());
         pg->setHintFaultedSinceScan(false);
 
-        // OPM's progressive demotion: zero-history upper-tier pages are
-        // demoted when the upper tier lacks headroom.
+        // OPM's progressive demotion: zero-history upper-tier pages
+        // (anything with a tier below them) are demoted when their tier
+        // lacks headroom.
+        TierRank below;
         if (opm() && demoted < cfg_.demoteBudget &&
             pg->historyBits() == 0 && pg->onLru() &&
-            sim_->pageTier(pg) == TierKind::Dram) {
+            mem.lowerTier(sim_->pageTier(pg), below)) {
             sim::Node &node = mem.node(pg->node());
             if (node.freeFrames() <= node.watermarks().high) {
                 if (demoteColdPage(pg)) {
@@ -108,17 +110,19 @@ AutoTieringPolicy::onHintFault(Page *page)
     page->setHintFaultedSinceScan(true);
     if (!page->onLru() || page->locked())
         return;
-    if (sim_->pageTier(page) != TierKind::Pmem)
+    auto &mem = sim_->memory();
+    // Pages on the top tier have nowhere to promote into; everything
+    // below targets its adjacent faster tier.
+    TierRank up;
+    if (!mem.higherTier(sim_->pageTier(page), up))
         return;
 
-    auto &mem = sim_->memory();
     auto &srcLists = mem.node(page->node()).lists();
 
     // Promotion to the best node, synchronously in the fault handler.
     // Conservative path: only when the upper tier has genuinely free
     // frames (above the reserve).
-    const NodeId dst =
-        mem.pickNodeWithSpace(TierKind::Dram, /*respectMin=*/true);
+    const NodeId dst = mem.pickNodeWithSpace(up, /*respectMin=*/true);
     if (dst != kInvalidNode) {
         srcLists.remove(page);
         if (sim_->migratePage(page, dst,
@@ -140,7 +144,7 @@ AutoTieringPolicy::onHintFault(Page *page)
     // Upper tier full: exchange with a victim that looks colder. With
     // only sparse hint-fault recency to judge by, this is where CPM goes
     // wrong under churny workloads.
-    Page *victim = pickColdVictim(page->isAnon(), now);
+    Page *victim = pickColdVictim(page->isAnon(), now, up);
     if (!victim)
         return;
     auto &victimLists = mem.node(victim->node()).lists();
@@ -173,10 +177,10 @@ AutoTieringPolicy::coldHorizon() const
 }
 
 Page *
-AutoTieringPolicy::pickColdVictim(bool anon, SimTime now)
+AutoTieringPolicy::pickColdVictim(bool anon, SimTime now, TierRank tier)
 {
     auto &mem = sim_->memory();
-    for (NodeId id : mem.tier(TierKind::Dram)) {
+    for (NodeId id : mem.tier(tier)) {
         auto &lists = mem.node(id).lists();
         for (LruListKind kind : {pfra::NodeLists::inactiveKind(anon),
                                  pfra::NodeLists::activeKind(anon)}) {
@@ -224,7 +228,8 @@ AutoTieringPolicy::demoteColdPage(Page *page)
 void
 AutoTieringPolicy::handlePressure(sim::Node &node)
 {
-    if (opm() && node.kind() == TierKind::Dram) {
+    TierRank below;
+    if (opm() && sim_->memory().lowerTier(node.tier(), below)) {
         // Demote history-cold pages until the watermark recovers.
         auto &lists = node.lists();
         std::size_t budget = cfg_.demoteBudget;

@@ -104,8 +104,8 @@ class AutoTieringPolicy : public TieringPolicy
     /** One profiling pass: poison PTEs, shift history, OPM demotions. */
     void scanTick(SimTime now);
 
-    /** Sampled upper-tier victim that looks cold, or nullptr. */
-    Page *pickColdVictim(bool anon, SimTime now);
+    /** Sampled victim from the tier at @p tier that looks cold. */
+    Page *pickColdVictim(bool anon, SimTime now, TierRank tier);
 
     /** Horizon separating warm from cold by hint-fault recency. */
     SimTime coldHorizon() const;

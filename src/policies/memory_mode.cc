@@ -17,9 +17,13 @@ void
 MemoryModePolicy::attach(sim::Simulator &sim)
 {
     TieringPolicy::attach(sim);
-    if (!sim.memory().tier(TierKind::Dram).empty()) {
-        MCLOCK_FATAL("Memory-mode requires a PM-only machine config "
-                     "(the DRAM is the memory-side cache, not a node)");
+    // The OS must only see the far-memory tier; every faster tier acts
+    // as the memory-side cache, not as nodes.
+    if (sim.memory().numTiers() != 1 ||
+        sim.memory().tierOrder().front() == 0) {
+        MCLOCK_FATAL("Memory-mode requires a far-memory-only machine "
+                     "config (the DRAM is the memory-side cache, not a "
+                     "node)");
     }
     cache_ = std::make_unique<DramCache>(dramCacheBytes_, sim.memConfig());
 }

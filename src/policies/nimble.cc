@@ -20,8 +20,8 @@ NimblePolicy::attach(sim::Simulator &sim)
     daemonIds_.clear();
     for (std::size_t i = 0; i < mem.numNodes(); ++i) {
         const NodeId id = static_cast<NodeId>(i);
-        TierKind up;
-        if (!mem.higherTier(mem.node(id).kind(), up))
+        TierRank up;
+        if (!mem.higherTier(mem.node(id).tier(), up))
             continue;
         daemonIds_.push_back(sim.daemons().add(
             "knimble/" + std::to_string(id), cfg_.scanInterval,
@@ -74,6 +74,10 @@ NimblePolicy::scanAndPromote(sim::Node &node, LruListKind kind,
     const bool anon = (kind == LruListKind::InactiveAnon ||
                        kind == LruListKind::ActiveAnon);
     const std::size_t budget = std::min(nrScan, list.size());
+    // Exchange victims come from the adjacent faster tier — the tier
+    // promotePage() targets from this node.
+    TierRank up = kInvalidTier;
+    const bool hasHigher = mem.higherTier(node.tier(), up);
 
     for (std::size_t i = 0; i < budget; ++i) {
         if (promoted >= cfg_.promoteBudget)
@@ -95,7 +99,7 @@ NimblePolicy::scanAndPromote(sim::Node &node, LruListKind kind,
             ++promoted;
             continue;
         }
-        Page *victim = pickExchangeVictim(anon);
+        Page *victim = hasHigher ? pickExchangeVictim(anon, up) : nullptr;
         if (victim) {
             auto &victimLists = mem.node(victim->node()).lists();
             victimLists.remove(victim);
@@ -120,8 +124,7 @@ NimblePolicy::scanAndPromote(sim::Node &node, LruListKind kind,
         // No exchange victim: fall back to the shared demotion
         // machinery (the paper implements Nimble's selection inside the
         // same kernel framework), then retry the promotion.
-        TierKind up;
-        if (mem.higherTier(node.kind(), up)) {
+        if (hasHigher) {
             for (NodeId id : mem.tier(up))
                 sim_->maybeReclaim(mem.node(id));
             if (sim_->promotePage(pg,
@@ -144,14 +147,13 @@ NimblePolicy::scanAndPromote(sim::Node &node, LruListKind kind,
 }
 
 Page *
-NimblePolicy::pickExchangeVictim(bool anon)
+NimblePolicy::pickExchangeVictim(bool anon, TierRank tier)
 {
     // Exchange with the bottom of the upper tier's LRU: sample the
     // inactive tail for a page not referenced since the last scan; if
     // none, rebalance active -> inactive and sample once more.
     auto &mem = sim_->memory();
-    const TierKind top = mem.tierOrder().front();
-    for (NodeId id : mem.tier(top)) {
+    for (NodeId id : mem.tier(tier)) {
         auto &lists = mem.node(id).lists();
         for (int attempt = 0; attempt < 2; ++attempt) {
             auto &inactive =
@@ -192,8 +194,8 @@ NimblePolicy::handlePressure(sim::Node &node)
             node.lists(), anon, cfg_.pressureBudget, node.inactiveRatio());
         sim_->chargeScan(stats.scanned);
     }
-    TierKind down;
-    const bool hasLower = mem.lowerTier(node.kind(), down);
+    TierRank down;
+    const bool hasLower = mem.lowerTier(node.tier(), down);
     std::size_t remaining = cfg_.pressureBudget;
     bool progress = true;
     while (!node.aboveHigh() && remaining > 0 && progress) {

@@ -76,8 +76,8 @@ class NimblePolicy : public TieringPolicy
     std::uint64_t scanAndPromote(sim::Node &node, LruListKind kind,
                                  std::size_t nrScan, std::uint64_t &promoted);
 
-    /** Find a cold upper-tier page to exchange with, or nullptr. */
-    Page *pickExchangeVictim(bool anon);
+    /** Find a cold page in the tier at @p tier to exchange with. */
+    Page *pickExchangeVictim(bool anon, TierRank tier);
 
     NimbleConfig cfg_;
     std::vector<sim::DaemonId> daemonIds_;

@@ -23,8 +23,8 @@ TieringPolicy::selectAllocationNode(Page &page)
     auto &mem = sim_->memory();
     // Highest-performing tier with room above the reserve wins; this is
     // where pages are "born in" under tiered allocation.
-    for (TierKind kind : mem.tierOrder()) {
-        const NodeId id = mem.pickNodeWithSpace(kind, /*respectMin=*/true);
+    for (TierRank rank : mem.tierOrder()) {
+        const NodeId id = mem.pickNodeWithSpace(rank, /*respectMin=*/true);
         if (id != kInvalidNode)
             return id;
     }
@@ -99,7 +99,7 @@ TieringPolicy::handlePressure(sim::Node &node)
 {
     // Default: last-resort eviction on the lowest tier only. Tiering
     // policies override this with their demotion mechanisms.
-    if (node.kind() != sim_->memory().tierOrder().back())
+    if (node.tier() != sim_->memory().tierOrder().back())
         return;
     std::size_t guard = 0;
     while (!node.aboveHigh() && guard++ < 64) {

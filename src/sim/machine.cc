@@ -44,6 +44,27 @@ paperMachineMemoryMode()
 }
 
 MachineConfig
+paperMachineThreeTier()
+{
+    MachineConfig cfg;
+    // CXL-attached DRAM: ~2.5x the local-DRAM load latency (CXL.mem
+    // round trip over the link), symmetric-ish bandwidth between local
+    // DRAM and Optane. Stores post slightly faster than loads complete.
+    cfg.mem.tiers = {
+        {"DRAM", {80_ns, 80_ns, 12.0, 12.0}},
+        {"CXL", {200_ns, 180_ns, 9.0, 9.0}},
+        {"PMEM", {300_ns, 200_ns, 6.6, 2.3}},
+    };
+    cfg.nodes = {
+        {0, 32_MiB},
+        {1, 64_MiB},
+        {2, 256_MiB},
+    };
+    cfg.cache.sizeBytes = 4_MiB;
+    return cfg;
+}
+
+MachineConfig
 benchMachine()
 {
     MachineConfig cfg;

@@ -47,11 +47,11 @@ struct MachineConfig
     StatsConfig stats;
 
     std::size_t
-    tierBytes(TierKind kind) const
+    tierBytes(TierRank rank) const
     {
         std::size_t total = 0;
         for (const auto &n : nodes) {
-            if (n.kind == kind)
+            if (n.tier == rank)
                 total += n.bytes;
         }
         return total;
@@ -77,6 +77,14 @@ MachineConfig paperMachineTwoSocket();
  * the policy, not to the node list).
  */
 MachineConfig paperMachineMemoryMode();
+
+/**
+ * Three-tier platform: local DRAM, CXL-attached DRAM (~2.5x the local
+ * load latency, intermediate bandwidth), and PM, each as one node. The
+ * tier table replaces the default two-tier one; rank 0 = DRAM,
+ * rank 1 = CXL, rank 2 = PM.
+ */
+MachineConfig paperMachineThreeTier();
 
 /**
  * Small machine used by the default bench runs: 16 MiB DRAM + 64 MiB PM

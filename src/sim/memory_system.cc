@@ -21,16 +21,19 @@ MemorySystem::MemorySystem(const std::vector<NodeSpec> &specs)
         const auto &spec = specs[i];
         const std::size_t frames = spec.bytes / kPageSize;
         MCLOCK_ASSERT(frames > 0);
+        MCLOCK_ASSERT(spec.tier >= 0);
         nodes_.push_back(std::make_unique<Node>(
-            static_cast<NodeId>(i), spec.kind, frames, base));
-        tierNodes_[static_cast<int>(spec.kind)].push_back(
+            static_cast<NodeId>(i), spec.tier, frames, base));
+        if (tierNodes_.size() <= static_cast<std::size_t>(spec.tier))
+            tierNodes_.resize(static_cast<std::size_t>(spec.tier) + 1);
+        tierNodes_[static_cast<std::size_t>(spec.tier)].push_back(
             static_cast<NodeId>(i));
         base += kNodeGap;
     }
-    if (!tierNodes_[static_cast<int>(TierKind::Dram)].empty())
-        tierOrder_.push_back(TierKind::Dram);
-    if (!tierNodes_[static_cast<int>(TierKind::Pmem)].empty())
-        tierOrder_.push_back(TierKind::Pmem);
+    for (std::size_t rank = 0; rank < tierNodes_.size(); ++rank) {
+        if (!tierNodes_[rank].empty())
+            tierOrder_.push_back(static_cast<TierRank>(rank));
+    }
 }
 
 Node &
@@ -48,16 +51,19 @@ MemorySystem::node(NodeId id) const
 }
 
 const std::vector<NodeId> &
-MemorySystem::tier(TierKind kind) const
+MemorySystem::tier(TierRank rank) const
 {
-    return tierNodes_[static_cast<int>(kind)];
+    static const std::vector<NodeId> kEmpty;
+    if (rank < 0 || static_cast<std::size_t>(rank) >= tierNodes_.size())
+        return kEmpty;
+    return tierNodes_[static_cast<std::size_t>(rank)];
 }
 
 bool
-MemorySystem::higherTier(TierKind kind, TierKind &out) const
+MemorySystem::higherTier(TierRank rank, TierRank &out) const
 {
     for (std::size_t i = 1; i < tierOrder_.size(); ++i) {
-        if (tierOrder_[i] == kind) {
+        if (tierOrder_[i] == rank) {
             out = tierOrder_[i - 1];
             return true;
         }
@@ -66,10 +72,10 @@ MemorySystem::higherTier(TierKind kind, TierKind &out) const
 }
 
 bool
-MemorySystem::lowerTier(TierKind kind, TierKind &out) const
+MemorySystem::lowerTier(TierRank rank, TierRank &out) const
 {
     for (std::size_t i = 0; i + 1 < tierOrder_.size(); ++i) {
-        if (tierOrder_[i] == kind) {
+        if (tierOrder_[i] == rank) {
             out = tierOrder_[i + 1];
             return true;
         }
@@ -78,29 +84,29 @@ MemorySystem::lowerTier(TierKind kind, TierKind &out) const
 }
 
 std::size_t
-MemorySystem::tierFrames(TierKind kind) const
+MemorySystem::tierFrames(TierRank rank) const
 {
     std::size_t total = 0;
-    for (NodeId id : tier(kind))
+    for (NodeId id : tier(rank))
         total += node(id).totalFrames();
     return total;
 }
 
 std::size_t
-MemorySystem::tierFreeFrames(TierKind kind) const
+MemorySystem::tierFreeFrames(TierRank rank) const
 {
     std::size_t total = 0;
-    for (NodeId id : tier(kind))
+    for (NodeId id : tier(rank))
         total += node(id).freeFrames();
     return total;
 }
 
 NodeId
-MemorySystem::pickNodeWithSpace(TierKind kind, bool respectMin) const
+MemorySystem::pickNodeWithSpace(TierRank rank, bool respectMin) const
 {
     NodeId best = kInvalidNode;
     std::size_t bestFree = 0;
-    for (NodeId id : tier(kind)) {
+    for (NodeId id : tier(rank)) {
         const Node &n = node(id);
         const std::size_t reserve = respectMin ? n.watermarks().min : 0;
         const std::size_t free = n.freeFrames();

@@ -2,10 +2,14 @@
  * @file
  * The collection of NUMA nodes forming the tiered memory system.
  *
- * Tiers are disjoint sets of nodes ordered from high performance / low
- * capacity (DRAM) to low performance / high capacity (PM). All DRAM
- * nodes form the DRAM tier and all PM nodes form the PM tier, exactly as
- * the paper defines.
+ * Tiers are disjoint sets of nodes ordered by rank from high
+ * performance / low capacity (rank 0, DRAM) to low performance / high
+ * capacity (PM). All nodes tagged with the same rank form one tier —
+ * for the paper's two-tier machine that means all DRAM nodes form the
+ * DRAM tier and all PM nodes form the PM tier, exactly as it defines.
+ * Ranks without nodes are legal (they simply do not appear in
+ * tierOrder()), so a two-tier machine remains expressible under a
+ * three-tier timing table.
  */
 
 #ifndef MCLOCK_SIM_MEMORY_SYSTEM_HH_
@@ -23,7 +27,7 @@ namespace sim {
 /** Declarative node description used by machine configs. */
 struct NodeSpec
 {
-    TierKind kind;
+    TierRank tier;
     std::size_t bytes;
 };
 
@@ -38,36 +42,41 @@ class MemorySystem
     Node &node(NodeId id);
     const Node &node(NodeId id) const;
 
-    /** Node ids belonging to @p kind, in id order. */
-    const std::vector<NodeId> &tier(TierKind kind) const;
+    /** Node ids belonging to the tier at @p rank, in id order. */
+    const std::vector<NodeId> &tier(TierRank rank) const;
 
-    /** Tier kinds present, ordered best-first (DRAM before PM). */
-    const std::vector<TierKind> &tierOrder() const { return tierOrder_; }
+    /** Number of tiers that actually have nodes. */
+    std::size_t numTiers() const { return tierOrder_.size(); }
+
+    /** Tier ranks present, ordered best-first (fastest tier first). */
+    const std::vector<TierRank> &tierOrder() const { return tierOrder_; }
 
     /**
-     * The next better tier than @p kind, if any.
-     * @return true and sets @p out when a higher tier exists
+     * The next better (adjacent faster) tier than @p rank, if any.
+     * Adjacency is over the tiers present, so node-less ranks are
+     * skipped. @return true and sets @p out when a higher tier exists
      */
-    bool higherTier(TierKind kind, TierKind &out) const;
+    bool higherTier(TierRank rank, TierRank &out) const;
 
-    /** The next worse tier than @p kind, if any. */
-    bool lowerTier(TierKind kind, TierKind &out) const;
+    /** The next worse (adjacent slower) tier than @p rank, if any. */
+    bool lowerTier(TierRank rank, TierRank &out) const;
 
     /** Total frames across a tier. */
-    std::size_t tierFrames(TierKind kind) const;
+    std::size_t tierFrames(TierRank rank) const;
 
     /** Total free frames across a tier. */
-    std::size_t tierFreeFrames(TierKind kind) const;
+    std::size_t tierFreeFrames(TierRank rank) const;
 
     /**
-     * Find a node in @p kind with a free frame, preferring the one with
-     * the most free frames (a simple zone-balancing stand-in).
+     * Find a node in the tier at @p rank with a free frame, preferring
+     * the one with the most free frames (a simple zone-balancing
+     * stand-in).
      *
      * @param respectMin when true, only consider nodes whose free count
      *                    stays above their min watermark reserve
      * @return node id or kInvalidNode
      */
-    NodeId pickNodeWithSpace(TierKind kind, bool respectMin) const;
+    NodeId pickNodeWithSpace(TierRank rank, bool respectMin) const;
 
     template <typename Fn>
     void
@@ -79,8 +88,9 @@ class MemorySystem
 
   private:
     std::vector<std::unique_ptr<Node>> nodes_;
-    std::vector<NodeId> tierNodes_[kNumTierKinds];
-    std::vector<TierKind> tierOrder_;
+    /** Indexed by tier rank; empty vectors for node-less ranks. */
+    std::vector<std::vector<NodeId>> tierNodes_;
+    std::vector<TierRank> tierOrder_;
 };
 
 }  // namespace sim

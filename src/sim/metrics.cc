@@ -12,8 +12,22 @@ Metrics::windowAt(SimTime now)
     return windows_[idx];
 }
 
+namespace {
+
 void
-Metrics::recordAccess(SimTime now, TierKind tier, bool llcHit)
+bumpAt(std::vector<std::uint64_t> &counts, TierRank rank,
+       std::uint64_t delta)
+{
+    const auto idx = static_cast<std::size_t>(rank);
+    if (counts.size() <= idx)
+        counts.resize(idx + 1);
+    counts[idx] += delta;
+}
+
+}  // namespace
+
+void
+Metrics::recordAccess(SimTime now, TierRank tier, bool llcHit)
 {
     auto &w = windowAt(now);
     ++w.accesses;
@@ -22,10 +36,28 @@ Metrics::recordAccess(SimTime now, TierKind tier, bool llcHit)
         ++w.llcHits;
         return;
     }
-    if (tier == TierKind::Dram)
-        ++w.dramAccesses;
-    else
-        ++w.pmemAccesses;
+    bumpAt(w.tierAccesses, tier, 1);
+    bumpAt(tierAccessTotals_, tier, 1);
+}
+
+void
+Metrics::recordMemLatency(TierRank tier, SimTime lat)
+{
+    bumpAt(tierLatencyTotals_, tier, lat);
+}
+
+std::uint64_t
+Metrics::totalTierAccesses(TierRank rank) const
+{
+    const auto idx = static_cast<std::size_t>(rank);
+    return idx < tierAccessTotals_.size() ? tierAccessTotals_[idx] : 0;
+}
+
+SimTime
+Metrics::totalTierLatency(TierRank rank) const
+{
+    const auto idx = static_cast<std::size_t>(rank);
+    return idx < tierLatencyTotals_.size() ? tierLatencyTotals_[idx] : 0;
 }
 
 void

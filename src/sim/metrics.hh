@@ -27,8 +27,8 @@ namespace sim {
 struct MetricsWindow
 {
     std::uint64_t accesses = 0;
-    std::uint64_t dramAccesses = 0;   ///< memory-visible, served by DRAM
-    std::uint64_t pmemAccesses = 0;   ///< memory-visible, served by PM
+    /** Memory-visible accesses served by each tier, indexed by rank. */
+    std::vector<std::uint64_t> tierAccesses;
     std::uint64_t llcHits = 0;
     std::uint64_t promotions = 0;
     std::uint64_t demotions = 0;
@@ -42,6 +42,14 @@ struct MetricsWindow
               static_cast<double>(promotions)
             : 0.0;
     }
+
+    /** Accesses served by the tier at @p rank (0 if never touched). */
+    std::uint64_t
+    tierAccessCount(TierRank rank) const
+    {
+        const auto idx = static_cast<std::size_t>(rank);
+        return idx < tierAccesses.size() ? tierAccesses[idx] : 0;
+    }
 };
 
 /** Windowed and total metrics for one simulation run. */
@@ -50,7 +58,10 @@ class Metrics
   public:
     explicit Metrics(SimTime windowLen = 20_s) : windowLen_(windowLen) {}
 
-    void recordAccess(SimTime now, TierKind tier, bool llcHit);
+    void recordAccess(SimTime now, TierRank tier, bool llcHit);
+
+    /** Charge @p lat ns of memory service time to the tier at @p tier. */
+    void recordMemLatency(TierRank tier, SimTime lat);
 
     /**
      * A page was migrated upward. Stamps the page with the current
@@ -64,8 +75,9 @@ class Metrics
     void beginPromotionRound() { ++round_; }
 
     /**
-     * Called for DRAM-tier memory-visible accesses; counts the first
-     * re-access of a page promoted in this or the previous round.
+     * Called for memory-visible accesses served above the bottom tier;
+     * counts the first re-access of a page promoted in this or the
+     * previous round.
      */
     void maybeRecordReaccess(SimTime now, Page *page);
 
@@ -77,6 +89,11 @@ class Metrics
     std::uint64_t totalPromotions() const { return totalPromotions_; }
     std::uint64_t totalDemotions() const { return totalDemotions_; }
     std::uint64_t totalReaccessed() const { return totalReaccessed_; }
+
+    /** Total memory-visible accesses served by the tier at @p rank. */
+    std::uint64_t totalTierAccesses(TierRank rank) const;
+    /** Total ns of memory service time spent in the tier at @p rank. */
+    SimTime totalTierLatency(TierRank rank) const;
 
     /** Free-form named counters for policy-specific events. */
     StatRegistry &stats() { return stats_; }
@@ -92,6 +109,8 @@ class Metrics
     std::uint64_t totalPromotions_ = 0;
     std::uint64_t totalDemotions_ = 0;
     std::uint64_t totalReaccessed_ = 0;
+    std::vector<std::uint64_t> tierAccessTotals_;  ///< indexed by rank
+    std::vector<SimTime> tierLatencyTotals_;       ///< indexed by rank
     StatRegistry stats_;
 };
 

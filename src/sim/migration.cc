@@ -34,7 +34,7 @@ MigrationEngine::migrate(Page *page, NodeId dst, SimTime &cost)
     }
 
     const Paddr oldPaddr = page->paddr();
-    cost = cfg_.pageMigrationCost(src.kind(), dstNode.kind());
+    cost = cfg_.pageMigrationCost(src.tier(), dstNode.tier());
     if (llc_)
         llc_->invalidatePage(oldPaddr);
     src.freeFrame(oldPaddr);
@@ -44,11 +44,9 @@ MigrationEngine::migrate(Page *page, NodeId dst, SimTime &cost)
     page->setPteDirty(false);
 
     ++migrations_;
-    const int srcKind = static_cast<int>(src.kind());
-    const int dstKind = static_cast<int>(dstNode.kind());
-    if (dstKind < srcKind)
+    if (dstNode.tier() < src.tier())
         ++promotions_;
-    else if (dstKind > srcKind)
+    else if (dstNode.tier() > src.tier())
         ++demotions_;
     return true;
 }
@@ -81,8 +79,8 @@ MigrationEngine::exchange(Page *a, Page *b, SimTime &cost)
 
     // Nimble's two-sided exchange overlaps the copies; cost is ~1.7x a
     // single migration rather than 2x.
-    const SimTime one = cfg_.pageMigrationCost(na.kind(), nb.kind());
-    const SimTime other = cfg_.pageMigrationCost(nb.kind(), na.kind());
+    const SimTime one = cfg_.pageMigrationCost(na.tier(), nb.tier());
+    const SimTime other = cfg_.pageMigrationCost(nb.tier(), na.tier());
     cost = (one + other) * 85 / 100;
 
     ++exchanges_;

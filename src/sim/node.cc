@@ -5,8 +5,8 @@
 namespace mclock {
 namespace sim {
 
-Node::Node(NodeId id, TierKind kind, std::size_t totalFrames, Paddr paddrBase)
-    : id_(id), kind_(kind), totalFrames_(totalFrames), base_(paddrBase),
+Node::Node(NodeId id, TierRank tier, std::size_t totalFrames, Paddr paddrBase)
+    : id_(id), tier_(tier), totalFrames_(totalFrames), base_(paddrBase),
       wm_(pfra::Watermarks::compute(totalFrames)),
       inactiveRatio_(pfra::inactiveRatio(totalFrames))
 {

@@ -2,10 +2,11 @@
  * @file
  * A simulated NUMA node (the pglist_data analogue).
  *
- * Each bank of memory is one node. The DAX-KMEM driver hot-plugs PM as
- * additional nodes, which our MemorySystem tags with TierKind::Pmem —
- * mirroring the paper's pglist_data flag that lets MULTI-CLOCK recognise
- * PM nodes. A node owns a frame pool, its watermarks, and its LRU lists.
+ * Each bank of memory is one node. The DAX-KMEM driver hot-plugs slower
+ * memory (PM, CXL-attached DRAM, ...) as additional nodes, which our
+ * MemorySystem tags with the rank of the tier they belong to — mirroring
+ * the paper's pglist_data flag that lets MULTI-CLOCK recognise PM nodes.
+ * A node owns a frame pool, its watermarks, and its LRU lists.
  */
 
 #ifndef MCLOCK_SIM_NODE_HH_
@@ -27,19 +28,18 @@ class Node
   public:
     /**
      * @param id          node number
-     * @param kind        DRAM or PM (the pglist_data tier tag)
+     * @param tier        rank of the tier this node belongs to
      * @param totalFrames frames managed by this node
      * @param paddrBase   base simulated physical address
      */
-    Node(NodeId id, TierKind kind, std::size_t totalFrames, Paddr paddrBase);
+    Node(NodeId id, TierRank tier, std::size_t totalFrames, Paddr paddrBase);
 
     Node(const Node &) = delete;
     Node &operator=(const Node &) = delete;
     Node(Node &&) = default;
 
     NodeId id() const { return id_; }
-    TierKind kind() const { return kind_; }
-    bool isPmem() const { return kind_ == TierKind::Pmem; }
+    TierRank tier() const { return tier_; }
     std::size_t totalFrames() const { return totalFrames_; }
     std::size_t freeFrames() const { return freeList_.size(); }
     std::size_t usedFrames() const { return totalFrames_ - freeFrames(); }
@@ -67,7 +67,7 @@ class Node
 
   private:
     NodeId id_;
-    TierKind kind_;
+    TierRank tier_;
     std::size_t totalFrames_;
     Paddr base_;
     std::vector<std::uint32_t> freeList_;  ///< stack of frame indices

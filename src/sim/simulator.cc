@@ -132,11 +132,11 @@ Simulator::compute(SimTime duration)
     now_ = std::max(now_, target);
 }
 
-TierKind
+TierRank
 Simulator::pageTier(const Page *page) const
 {
     MCLOCK_ASSERT(page->resident());
-    return mem_.node(page->node()).kind();
+    return mem_.node(page->node()).tier();
 }
 
 void
@@ -193,10 +193,9 @@ bool
 Simulator::migratePage(Page *page, NodeId dst, ChargeMode mode)
 {
     MCLOCK_ASSERT(!page->onLru());
-    const TierKind srcKind = pageTier(page);
+    const TierRank srcTier = pageTier(page);
     const NodeId srcNode = page->node();
-    const int dir = static_cast<int>(mem_.node(dst).kind()) -
-                    static_cast<int>(srcKind);
+    const int dir = mem_.node(dst).tier() - srcTier;
     trace_.record(stats::TraceEventType::MigrationStart, srcNode,
                   page->vpn(), static_cast<std::uint64_t>(dst));
     SimTime cost = 0;
@@ -207,13 +206,13 @@ Simulator::migratePage(Page *page, NodeId dst, ChargeMode mode)
             vmstat_.add(stats::VmItem::PgdemoteFail, srcNode);
         return false;
     }
-    const TierKind dstKind = mem_.node(dst).kind();
+    const TierRank dstTier = mem_.node(dst).tier();
     chargeMigration(cost, mode, cfg_.mem.migrationFixedCost);
-    if (static_cast<int>(dstKind) < static_cast<int>(srcKind)) {
+    if (dstTier < srcTier) {
         metrics_.recordPromotion(now_, page);
         // Kernel convention: pgpromote_success lands on the target node.
         vmstat_.add(stats::VmItem::PgpromoteSuccess, dst);
-    } else if (static_cast<int>(dstKind) > static_cast<int>(srcKind)) {
+    } else if (dstTier > srcTier) {
         metrics_.recordDemotion(now_);
         vmstat_.add(stats::VmItem::Pgdemote, srcNode);
     }
@@ -225,7 +224,7 @@ Simulator::migratePage(Page *page, NodeId dst, ChargeMode mode)
 bool
 Simulator::promotePage(Page *page, ChargeMode mode)
 {
-    TierKind up;
+    TierRank up;
     if (!mem_.higherTier(pageTier(page), up))
         return false;
     const NodeId dst = mem_.pickNodeWithSpace(up, /*respectMin=*/false);
@@ -241,7 +240,7 @@ Simulator::promotePage(Page *page, ChargeMode mode)
 bool
 Simulator::demotePage(Page *page, ChargeMode mode)
 {
-    TierKind down;
+    TierRank down;
     if (!mem_.lowerTier(pageTier(page), down))
         return false;
     const NodeId dst = mem_.pickNodeWithSpace(down, /*respectMin=*/true);
@@ -256,7 +255,8 @@ bool
 Simulator::exchangePages(Page *hot, Page *cold, ChargeMode mode)
 {
     MCLOCK_ASSERT(!hot->onLru() && !cold->onLru());
-    const TierKind hotSrc = pageTier(hot);
+    const TierRank hotSrc = pageTier(hot);
+    const TierRank coldSrc = pageTier(cold);
     const NodeId hotNode = hot->node();
     const NodeId coldNode = cold->node();
     trace_.record(stats::TraceEventType::MigrationStart, hotNode,
@@ -266,9 +266,9 @@ Simulator::exchangePages(Page *hot, Page *cold, ChargeMode mode)
         return false;
     chargeMigration(cost, mode, cfg_.mem.migrationFixedCost * 17 / 10);
     // The hot page moved up, the cold page moved down (by construction
-    // callers pass (pm-page, dram-page)).
+    // callers pass (lower-tier page, upper-tier page)).
     vmstat_.add(stats::VmItem::Pgexchange, hotNode);
-    if (hotSrc == TierKind::Pmem) {
+    if (hotSrc > coldSrc) {
         metrics_.recordPromotion(now_, hot);
         vmstat_.add(stats::VmItem::PgpromoteSuccess, coldNode);
     }
@@ -354,7 +354,7 @@ Simulator::accessOnePage(Vaddr va, bool write, bool supervised)
         const Paddr pa = pg->paddr() + (va & (kPageSize - 1));
         llcHit = llc_->access(pa, write).hit;
     }
-    const TierKind tier = mem_.node(pg->node()).kind();
+    const TierRank tier = mem_.node(pg->node()).tier();
     metrics_.recordAccess(now_, tier, llcHit);
     if (llcHit) {
         now_ += cfg_.cache.hitLatency;
@@ -370,7 +370,9 @@ Simulator::accessOnePage(Vaddr va, bool write, bool supervised)
     }
     pg->bumpAccessCount();
     pg->setLastAccess(now_);
-    if (tier == TierKind::Dram)
+    // Re-access tracking covers every tier a page can be promoted into,
+    // i.e. everything above the bottom tier (just DRAM on two tiers).
+    if (mem_.numTiers() > 1 && tier != mem_.tierOrder().back())
         metrics_.maybeRecordReaccess(now_, pg);
 
     policies::AccessContext ctx;
@@ -385,6 +387,7 @@ Simulator::accessOnePage(Vaddr va, bool write, bool supervised)
         const auto &timing = cfg_.mem.timing(tier);
         lat = write ? timing.storeLatency : timing.loadLatency;
     }
+    metrics_.recordMemLatency(tier, lat);
     now_ += lat;
 }
 
@@ -422,7 +425,9 @@ Simulator::allocateFrameFor(Page *page)
             Paddr pa;
             if (node.allocFrame(pa)) {
                 page->placeOn(nid, pa);
-                vmstat_.add(node.kind() == TierKind::Dram
+                // pgfault_dram counts faults placed on the rank-0
+                // tier; pgfault_pm covers every lower tier.
+                vmstat_.add(node.tier() == 0
                                 ? stats::VmItem::PgfaultDram
                                 : stats::VmItem::PgfaultPm,
                             nid);
@@ -450,7 +455,7 @@ Simulator::allocateFrameFor(Page *page)
             }
         }
         // Direct reclaim: push on the most-used node of the lowest tier.
-        const TierKind lowest = mem_.tierOrder().back();
+        const TierRank lowest = mem_.tierOrder().back();
         Node *worst = nullptr;
         for (NodeId id : mem_.tier(lowest)) {
             Node &n = mem_.node(id);

@@ -105,8 +105,8 @@ class Simulator
     /** LLC filter model, or nullptr when disabled. */
     CacheModel *llc() { return llc_.get(); }
 
-    /** Tier kind of the node currently holding @p page. */
-    TierKind pageTier(const Page *page) const;
+    /** Tier rank of the node currently holding @p page. */
+    TierRank pageTier(const Page *page) const;
 
     /** How migration/exchange costs are charged to the clock. */
     enum class ChargeMode {

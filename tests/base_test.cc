@@ -44,10 +44,12 @@ TEST(UnitsTest, TimeLiterals)
     EXPECT_EQ(2_s, 2000000000u);
 }
 
-TEST(TypesTest, TierNames)
+TEST(TypesTest, TierRankAliases)
 {
-    EXPECT_STREQ(tierName(TierKind::Dram), "DRAM");
-    EXPECT_STREQ(tierName(TierKind::Pmem), "PMEM");
+    // The legacy two-tier names are fixed ranks in the ordered topology.
+    EXPECT_EQ(TierKind::Dram, 0);
+    EXPECT_EQ(TierKind::Pmem, 1);
+    EXPECT_LT(TierKind::Dram, TierKind::Pmem);
 }
 
 // --- Rng ------------------------------------------------------------------

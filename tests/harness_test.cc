@@ -67,10 +67,10 @@ expectIdentical(const ScenarioOutput &a, const ScenarioOutput &b)
 
 // --- Registry -----------------------------------------------------------
 
-TEST(ScenarioRegistry, ListsAllFourteenExperiments)
+TEST(ScenarioRegistry, ListsAllSeventeenExperiments)
 {
     const auto &all = allScenarios();
-    EXPECT_EQ(all.size(), 14u);
+    EXPECT_EQ(all.size(), 17u);
     std::set<std::string> names;
     for (const auto &sc : all)
         names.insert(sc.name);
@@ -78,6 +78,7 @@ TEST(ScenarioRegistry, ListsAllFourteenExperiments)
          {"fig01", "fig02", "tab01", "fig05", "fig06", "fig07",
           "fig08", "fig09", "fig10", "ablation_promote_list",
           "ablation_tracking_cost", "ablation_ratio", "ablation_llc",
+          "tier3_ycsb_a", "tier3_ycsb_b", "tier3_pagerank",
           "micro_structures"}) {
         EXPECT_TRUE(names.count(expected))
             << "missing scenario " << expected;
@@ -109,7 +110,7 @@ TEST(ScenarioRegistry, GoldenEligibilityMatchesDeterminism)
     // tab01 is static metadata and micro_structures is host-timed;
     // everything else must be in the golden suite.
     const auto names = goldenScenarioNames();
-    EXPECT_EQ(names.size(), 12u);
+    EXPECT_EQ(names.size(), 15u);
     for (const auto &name : names) {
         EXPECT_NE(name, "tab01");
         EXPECT_NE(name, "micro_structures");
@@ -165,6 +166,39 @@ TEST(RunnerDeterminism, JobCountDoesNotAffectOutput)
     const auto serial = runScenario("fig05", quietOptions(1, ctx));
     const auto parallel = runScenario("fig05", quietOptions(4, ctx));
     expectIdentical(serial.output, parallel.output);
+}
+
+TEST(RunnerDeterminism, Tier3JobCountDoesNotAffectOutput)
+{
+    const auto ctx = smallContext();
+    const auto serial =
+        runScenario("tier3_ycsb_a", quietOptions(1, ctx));
+    const auto parallel =
+        runScenario("tier3_ycsb_a", quietOptions(4, ctx));
+    expectIdentical(serial.output, parallel.output);
+    EXPECT_FALSE(serial.output.summary.empty());
+}
+
+TEST(Tier3Machine, StaticTieringOrdersTierLatencies)
+{
+    // On the DRAM/CXL/PM machine under static tiering, average device
+    // latency must order strictly by rank: DRAM < CXL < PM.
+    sim::Simulator sim(goldenTier3YcsbMachine());
+    sim.setPolicy(policies::makePolicy("static", benchPolicyOptions()));
+    auto ycsb = goldenYcsbConfig(20000);
+    workloads::YcsbDriver driver(sim, ycsb);
+    driver.load();
+    driver.run(workloads::YcsbWorkload::A);
+    const auto &m = sim.metrics();
+    double avg[3];
+    for (TierRank rank = 0; rank < 3; ++rank) {
+        const auto acc = m.totalTierAccesses(rank);
+        ASSERT_GT(acc, 0u) << "no accesses reached tier " << rank;
+        avg[rank] = static_cast<double>(m.totalTierLatency(rank)) /
+                    static_cast<double>(acc);
+    }
+    EXPECT_LT(avg[0], avg[1]);
+    EXPECT_LT(avg[1], avg[2]);
 }
 
 TEST(RunnerDeterminism, MultiScenarioRunMatchesAnyJobCount)

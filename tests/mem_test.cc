@@ -18,9 +18,15 @@ namespace {
 TEST(MemoryConfigTest, DefaultLatencyOrdering)
 {
     MemoryConfig cfg;
-    EXPECT_LT(cfg.dram.loadLatency, cfg.pmem.loadLatency);
-    EXPECT_LT(cfg.dram.storeLatency, cfg.pmem.storeLatency);
-    EXPECT_GT(cfg.dram.writeBandwidth, cfg.pmem.writeBandwidth);
+    ASSERT_EQ(cfg.numTiers(), 2u);
+    EXPECT_STREQ(cfg.tierName(TierKind::Dram), "DRAM");
+    EXPECT_STREQ(cfg.tierName(TierKind::Pmem), "PMEM");
+    EXPECT_LT(cfg.timing(TierKind::Dram).loadLatency,
+              cfg.timing(TierKind::Pmem).loadLatency);
+    EXPECT_LT(cfg.timing(TierKind::Dram).storeLatency,
+              cfg.timing(TierKind::Pmem).storeLatency);
+    EXPECT_GT(cfg.timing(TierKind::Dram).writeBandwidth,
+              cfg.timing(TierKind::Pmem).writeBandwidth);
 }
 
 TEST(MemoryConfigTest, CopyLatencyUsesBottleneckBandwidth)
@@ -35,6 +41,45 @@ TEST(MemoryConfigTest, CopyLatencyUsesBottleneckBandwidth)
         cfg.copyLatency(TierKind::Pmem, TierKind::Dram, 4096);
     EXPECT_NEAR(static_cast<double>(toDram), 4096.0 / 6.6, 2.0);
     EXPECT_LT(toDram, toPm);
+}
+
+TEST(MemoryConfigTest, TwoTierCopyLatencyPinned)
+{
+    // Regression pin: the N-tier table must not change the default
+    // two-tier copy costs (golden runs depend on these numbers).
+    MemoryConfig cfg;
+    EXPECT_EQ(cfg.copyLatency(TierKind::Dram, TierKind::Pmem, 4096),
+              static_cast<SimTime>(4096.0 / 2.3));
+    EXPECT_EQ(cfg.copyLatency(TierKind::Pmem, TierKind::Dram, 4096),
+              static_cast<SimTime>(4096.0 / 6.6));
+    EXPECT_EQ(cfg.copyLatency(TierKind::Dram, TierKind::Dram, 4096),
+              static_cast<SimTime>(4096.0 / 12.0));
+}
+
+TEST(MemoryConfigTest, ThreeTierBandwidthMatrix)
+{
+    MemoryConfig cfg;
+    cfg.tiers = {
+        {"DRAM", {80_ns, 80_ns, 12.0, 12.0}},
+        {"CXL", {200_ns, 180_ns, 9.0, 9.0}},
+        {"PMEM", {300_ns, 200_ns, 6.6, 2.3}},
+    };
+    ASSERT_EQ(cfg.numTiers(), 3u);
+    // Each pair takes min(src read BW, dst write BW).
+    EXPECT_EQ(cfg.copyLatency(0, 1, 4096),
+              static_cast<SimTime>(4096.0 / 9.0));   // CXL write
+    EXPECT_EQ(cfg.copyLatency(1, 0, 4096),
+              static_cast<SimTime>(4096.0 / 9.0));   // CXL read
+    EXPECT_EQ(cfg.copyLatency(1, 2, 4096),
+              static_cast<SimTime>(4096.0 / 2.3));   // PM write
+    EXPECT_EQ(cfg.copyLatency(2, 1, 4096),
+              static_cast<SimTime>(4096.0 / 6.6));   // PM read
+    EXPECT_EQ(cfg.copyLatency(0, 2, 4096),
+              static_cast<SimTime>(4096.0 / 2.3));
+    // Migration costs follow the matrix plus the fixed overhead.
+    EXPECT_EQ(cfg.pageMigrationCost(2, 1),
+              cfg.migrationFixedCost +
+                  cfg.copyLatency(2, 1, kPageSize));
 }
 
 TEST(MemoryConfigTest, MigrationCostIncludesFixedOverhead)
@@ -52,9 +97,9 @@ TEST(MemoryConfigTest, TimingSelection)
 {
     MemoryConfig cfg;
     EXPECT_EQ(cfg.timing(TierKind::Dram).loadLatency,
-              cfg.dram.loadLatency);
+              cfg.tier(TierKind::Dram).timing.loadLatency);
     EXPECT_EQ(cfg.timing(TierKind::Pmem).loadLatency,
-              cfg.pmem.loadLatency);
+              cfg.tier(TierKind::Pmem).timing.loadLatency);
 }
 
 // --- CacheModel --------------------------------------------------------------
@@ -136,10 +181,10 @@ TEST(DramCacheTest, HitServedAtDramLatency)
     DramCache cache(1_MiB, cfg);
     const auto miss = cache.access(0x100, false);
     EXPECT_FALSE(miss.hit);
-    EXPECT_GE(miss.latency, cfg.pmem.loadLatency);
+    EXPECT_GE(miss.latency, cfg.timing(TierKind::Pmem).loadLatency);
     const auto hit = cache.access(0x100, false);
     EXPECT_TRUE(hit.hit);
-    EXPECT_EQ(hit.latency, cfg.dram.loadLatency);
+    EXPECT_EQ(hit.latency, cfg.timing(TierKind::Dram).loadLatency);
 }
 
 TEST(DramCacheTest, DirectMappedConflict)
@@ -188,7 +233,8 @@ TEST(DramCacheTest, MissPaysTagProbePlusPmAccess)
     EXPECT_FALSE(miss.hit);
     // 2LM misses serialize the DRAM tag probe before the PM access.
     EXPECT_GE(miss.latency,
-              cfg.dram.loadLatency + cfg.pmem.loadLatency);
+              cfg.timing(TierKind::Dram).loadLatency +
+                  cfg.timing(TierKind::Pmem).loadLatency);
 }
 
 }  // namespace

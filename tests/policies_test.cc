@@ -295,7 +295,8 @@ TEST(MemoryModeTest, RepeatAccessHitsDramCache)
     sim.read(pg->vaddr());  // fill
     const SimTime before = sim.now();
     sim.read(pg->vaddr());  // hit
-    EXPECT_EQ(sim.now() - before, cfg.mem.dram.loadLatency);
+    EXPECT_EQ(sim.now() - before,
+              cfg.mem.timing(TierKind::Dram).loadLatency);
     EXPECT_GT(mm->cache().hits(), 0u);
 }
 
@@ -323,7 +324,7 @@ TEST(MemoryModeTest, MissSlowerThanHit)
     sim2.read(b);  // fault + first-touch miss
     Page *pg = sim2.space().lookup(pageNumOf(b));
     (void)pg;
-    EXPECT_LT(hit, cfg.mem.pmem.loadLatency);
+    EXPECT_LT(hit, cfg.mem.timing(TierKind::Pmem).loadLatency);
 }
 
 // --- AMP --------------------------------------------------------------------------

@@ -244,6 +244,118 @@ INSTANTIATE_TEST_SUITE_P(
         return name;
     });
 
+// --- N-tier topology properties ----------------------------------------------------
+
+sim::MachineConfig
+threeTierTinyMachine()
+{
+    sim::MachineConfig cfg = sim::paperMachineThreeTier();
+    cfg.nodes = {{0, 1_MiB}, {1, 2_MiB}, {2, 4_MiB}};
+    cfg.cache.enabled = false;
+    return cfg;
+}
+
+std::size_t
+residentOnTier(sim::Simulator &sim, TierRank rank)
+{
+    std::size_t n = 0;
+    sim.space().forEachPage([&](Page *pg) {
+        if (pg->resident() && sim.pageTier(pg) == rank)
+            ++n;
+    });
+    return n;
+}
+
+TEST(TierTopologyProperty, AllocationFallbackWalksRanksInOrder)
+{
+    // First-touch allocation fills rank 0 first, spills to rank 1 only
+    // once DRAM runs out of headroom, and reaches rank 2 only after the
+    // middle tier does too.
+    sim::Simulator sim(threeTierTinyMachine());
+    sim.setPolicy(policies::makePolicy("static"));
+    const std::size_t f0 = sim.memory().tierFrames(0);
+    const std::size_t f1 = sim.memory().tierFrames(1);
+    const std::size_t f2 = sim.memory().tierFrames(2);
+    const std::size_t total = f0 + f1 + f2;
+    const Vaddr base = sim.mmap(total * kPageSize);
+    std::size_t touched = 0;
+    auto touchUpTo = [&](std::size_t target) {
+        for (; touched < target; ++touched)
+            sim.write(base + touched * kPageSize);
+    };
+
+    // Half of DRAM: everything stays on rank 0.
+    touchUpTo(f0 / 2);
+    EXPECT_EQ(residentOnTier(sim, 0), f0 / 2);
+    EXPECT_EQ(residentOnTier(sim, 1), 0u);
+    EXPECT_EQ(residentOnTier(sim, 2), 0u);
+
+    // Past DRAM into half of CXL: rank 1 engages, rank 2 untouched.
+    touchUpTo(f0 + f1 / 2);
+    EXPECT_GT(residentOnTier(sim, 1), 0u);
+    EXPECT_EQ(residentOnTier(sim, 2), 0u);
+
+    // Past DRAM+CXL: the bottom tier finally takes the overflow.
+    touchUpTo(f0 + f1 + f2 / 2);
+    EXPECT_GT(residentOnTier(sim, 2), 0u);
+    for (const auto &v : harness::collectViolations(sim))
+        ADD_FAILURE() << "harness invariant: " << v;
+    for (const auto &v : harness::collectCounterViolations(sim))
+        ADD_FAILURE() << "counter invariant: " << v;
+}
+
+/** Overcommit beyond all tiers: the cascade must end in swap. */
+class DemotionCascadeTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DemotionCascadeTest, CascadeTerminatesInSwap)
+{
+    sim::MachineConfig cfg;
+    switch (GetParam()) {
+      case 1:
+        cfg.nodes = {{0, 2_MiB}};
+        break;
+      case 2:
+        cfg.nodes = {{0, 1_MiB}, {1, 4_MiB}};
+        break;
+      case 3:
+        cfg = sim::paperMachineThreeTier();
+        cfg.nodes = {{0, 1_MiB}, {1, 2_MiB}, {2, 4_MiB}};
+        break;
+    }
+    cfg.cache.enabled = false;
+    cfg.swapPages = 0;  // unlimited swap
+    sim::Simulator sim(cfg);
+    sim.setPolicy(policies::makePolicy("multiclock"));
+    std::size_t total = 0;
+    for (TierRank rank : sim.memory().tierOrder())
+        total += sim.memory().tierFrames(rank);
+    const std::size_t pages = total + total / 4;
+    const Vaddr base = sim.mmap(pages * kPageSize);
+    for (std::size_t i = 0; i < pages; ++i)
+        sim.write(base + i * kPageSize);
+    Rng rng(5);
+    for (int i = 0; i < 4000; ++i)
+        sim.read(base + rng.nextRange(pages) * kPageSize, 8);
+    // The books balance, pressure reached block storage, and on
+    // multi-tier machines pages flowed down the rank chain.
+    EXPECT_GT(sim.stats().get("swap_outs"), 0u);
+    if (sim.memory().numTiers() > 1) {
+        EXPECT_GT(sim.metrics().totalDemotions(), 0u);
+    }
+    for (const auto &v : harness::collectViolations(sim))
+        ADD_FAILURE() << "harness invariant: " << v;
+    for (const auto &v : harness::collectCounterViolations(sim))
+        ADD_FAILURE() << "counter invariant: " << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(TierCounts, DemotionCascadeTest,
+                         ::testing::Values(1, 2, 3),
+                         [](const ::testing::TestParamInfo<int> &info) {
+                             return std::to_string(info.param) + "tier";
+                         });
+
 // --- Zipfian distribution properties (parameterized over theta) -------------------
 
 class ZipfPropertyTest : public ::testing::TestWithParam<double>

@@ -61,10 +61,10 @@ TEST(NodeTest, WatermarkPredicates)
     EXPECT_FALSE(node.aboveHigh());
 }
 
-TEST(NodeTest, PmemTag)
+TEST(NodeTest, TierTag)
 {
     Node node(3, TierKind::Pmem, 1, 0);
-    EXPECT_TRUE(node.isPmem());
+    EXPECT_EQ(node.tier(), TierKind::Pmem);
     EXPECT_EQ(node.id(), 3);
 }
 
@@ -76,7 +76,7 @@ TEST(MemorySystemTest, TierOrdering)
     ASSERT_EQ(mem.tierOrder().size(), 2u);
     EXPECT_EQ(mem.tierOrder()[0], TierKind::Dram);
     EXPECT_EQ(mem.tierOrder()[1], TierKind::Pmem);
-    TierKind out;
+    TierRank out;
     EXPECT_TRUE(mem.higherTier(TierKind::Pmem, out));
     EXPECT_EQ(out, TierKind::Dram);
     EXPECT_FALSE(mem.higherTier(TierKind::Dram, out));
@@ -85,12 +85,45 @@ TEST(MemorySystemTest, TierOrdering)
     EXPECT_FALSE(mem.lowerTier(TierKind::Pmem, out));
 }
 
+TEST(MemorySystemTest, ThreeTierOrdering)
+{
+    MemorySystem mem({{0, 1_MiB}, {1, 2_MiB}, {2, 4_MiB}});
+    ASSERT_EQ(mem.tierOrder().size(), 3u);
+    EXPECT_EQ(mem.numTiers(), 3u);
+    EXPECT_EQ(mem.tierOrder().front(), 0);
+    EXPECT_EQ(mem.tierOrder().back(), 2);
+    TierRank out;
+    EXPECT_TRUE(mem.higherTier(2, out));
+    EXPECT_EQ(out, 1);
+    EXPECT_TRUE(mem.higherTier(1, out));
+    EXPECT_EQ(out, 0);
+    EXPECT_FALSE(mem.higherTier(0, out));
+    EXPECT_TRUE(mem.lowerTier(0, out));
+    EXPECT_EQ(out, 1);
+    EXPECT_TRUE(mem.lowerTier(1, out));
+    EXPECT_EQ(out, 2);
+    EXPECT_FALSE(mem.lowerTier(2, out));
+}
+
+TEST(MemorySystemTest, SparseRanksSkipEmptyTiers)
+{
+    // Nodes only on ranks 0 and 2: adjacency skips the node-less rank 1.
+    MemorySystem mem({{0, 1_MiB}, {2, 4_MiB}});
+    ASSERT_EQ(mem.tierOrder().size(), 2u);
+    EXPECT_TRUE(mem.tier(1).empty());
+    TierRank out;
+    EXPECT_TRUE(mem.higherTier(2, out));
+    EXPECT_EQ(out, 0);
+    EXPECT_TRUE(mem.lowerTier(0, out));
+    EXPECT_EQ(out, 2);
+}
+
 TEST(MemorySystemTest, PmOnlyMachine)
 {
     MemorySystem mem({{TierKind::Pmem, 4_MiB}});
     EXPECT_EQ(mem.tierOrder().size(), 1u);
     EXPECT_TRUE(mem.tier(TierKind::Dram).empty());
-    TierKind out;
+    TierRank out;
     EXPECT_FALSE(mem.higherTier(TierKind::Pmem, out));
 }
 
@@ -276,8 +309,8 @@ TEST(MetricsTest, WindowBucketing)
     metrics.recordAccess(25_s, TierKind::Pmem, false);
     metrics.recordAccess(25_s, TierKind::Pmem, true);
     ASSERT_EQ(metrics.windows().size(), 2u);
-    EXPECT_EQ(metrics.windows()[0].dramAccesses, 1u);
-    EXPECT_EQ(metrics.windows()[1].pmemAccesses, 1u);
+    EXPECT_EQ(metrics.windows()[0].tierAccessCount(TierKind::Dram), 1u);
+    EXPECT_EQ(metrics.windows()[1].tierAccessCount(TierKind::Pmem), 1u);
     EXPECT_EQ(metrics.windows()[1].llcHits, 1u);
     EXPECT_EQ(metrics.totalAccesses(), 3u);
 }
@@ -418,8 +451,8 @@ TEST(SimulatorTest, PmemAccessSlowerThanDram)
     t0 = sim->now();
     sim->read(pmemPage->vaddr());
     const SimTime pmemLat = sim->now() - t0;
-    EXPECT_EQ(dramLat, sim->memConfig().dram.loadLatency);
-    EXPECT_EQ(pmemLat, sim->memConfig().pmem.loadLatency);
+    EXPECT_EQ(dramLat, sim->memConfig().timing(TierKind::Dram).loadLatency);
+    EXPECT_EQ(pmemLat, sim->memConfig().timing(TierKind::Pmem).loadLatency);
 }
 
 TEST(SimulatorTest, ComputeAdvancesClockAndRunsDaemons)
