@@ -132,6 +132,14 @@ Kpromoted::shrinkPromoteList(sim::Node &node, bool anon, std::size_t budget,
     TierRank up;
     const bool hasHigher = mem.higherTier(node.tier(), up);
 
+    if (hasHigher && sim_.promotionThrottled(node.id())) {
+        // Graceful degradation: this node's promotions keep aborting
+        // (injected migration faults); leave the promote list parked
+        // until the cooldown expires instead of churning pages through
+        // doomed transactions.
+        return 0;
+    }
+
     for (std::size_t i = 0; i < toScan; ++i) {
         Page *pg = promote.back();
         const bool wasReferenced =

@@ -166,23 +166,50 @@ collectCounterViolations(sim::Simulator &sim)
         counterMismatch(out, "pgdemote", vm.global(VmItem::Pgdemote),
                         sim.metrics().totalDemotions());
     }
+    // A pgexchange implies the two nodes sat on different tiers; the
+    // engine's same-tier exchanges are deliberately not counted.
     if (vm.global(VmItem::Pgexchange) !=
-        sim.migrationEngine().exchanges()) {
+        sim.migrationEngine().tieredExchanges()) {
         counterMismatch(out, "pgexchange", vm.global(VmItem::Pgexchange),
-                        sim.migrationEngine().exchanges());
+                        sim.migrationEngine().tieredExchanges());
     }
 
-    // Swap traffic and reclaim: pswpin/pswpout shadow the legacy stats;
-    // in this model every page written out was stolen from its node.
+    // Transactional migration: every injected abort (and every
+    // post-copy rollback) the engine saw reached vmstat.
+    if (vm.global(VmItem::PgmigrateAbort) != sim.migrationEngine().aborts())
+        counterMismatch(out, "pgmigrate_abort",
+                        vm.global(VmItem::PgmigrateAbort),
+                        sim.migrationEngine().aborts());
+    if (vm.global(VmItem::PgmigrateRollback) !=
+        sim.migrationEngine().rollbacks()) {
+        counterMismatch(out, "pgmigrate_rollback",
+                        vm.global(VmItem::PgmigrateRollback),
+                        sim.migrationEngine().rollbacks());
+    }
+
+    // Swap traffic and reclaim: pswpin/pswpout shadow the legacy stats.
+    // pswpout is charged only for anonymous pages entering the swap
+    // area; file-backed evictions surface as pgwriteback instead, and
+    // every evicted page of either kind was stolen from its node.
     if (vm.global(VmItem::Pswpin) != st.get("swap_ins"))
         counterMismatch(out, "pswpin", vm.global(VmItem::Pswpin),
                         st.get("swap_ins"));
     if (vm.global(VmItem::Pswpout) != st.get("swap_outs"))
         counterMismatch(out, "pswpout", vm.global(VmItem::Pswpout),
                         st.get("swap_outs"));
-    if (vm.global(VmItem::Pgsteal) != vm.global(VmItem::Pswpout))
+    if (vm.global(VmItem::Pswpout) != sim.swap().swapOuts())
+        counterMismatch(out, "pswpout(swap)", vm.global(VmItem::Pswpout),
+                        sim.swap().swapOuts());
+    if (vm.global(VmItem::Pgwriteback) != sim.swap().writebacks())
+        counterMismatch(out, "pgwriteback",
+                        vm.global(VmItem::Pgwriteback),
+                        sim.swap().writebacks());
+    if (vm.global(VmItem::Pgsteal) !=
+        vm.global(VmItem::Pswpout) + vm.global(VmItem::Pgwriteback)) {
         counterMismatch(out, "pgsteal", vm.global(VmItem::Pgsteal),
-                        vm.global(VmItem::Pswpout));
+                        vm.global(VmItem::Pswpout) +
+                            vm.global(VmItem::Pgwriteback));
+    }
 
     // Fault attribution: every frame allocation (minor fault or swap-in)
     // landed on exactly one tier.
@@ -225,7 +252,9 @@ collectCounterViolations(sim::Simulator &sim)
                         VmItem::Pgdemote, VmItem::Pgsteal,
                         VmItem::PgfaultDram, VmItem::PgfaultPm,
                         VmItem::Pswpin, VmItem::Pswpout,
-                        VmItem::KswapdWake}) {
+                        VmItem::Pgwriteback, VmItem::PgmigrateAbort,
+                        VmItem::PgmigrateRetry, VmItem::PgmigrateRollback,
+                        VmItem::PgpromoteThrottled, VmItem::KswapdWake}) {
         if (vm.nodeSum(item) != vm.global(item)) {
             violation(out,
                       "counter mismatch: per-node %s sums to %llu, not "

@@ -68,6 +68,7 @@ allScenarios()
         all.push_back(ycsb[3]);   // fig10
         add({ycsb.begin() + 4, ycsb.end()});  // ablations
         add(makeTier3Scenarios());            // tier3_* (three-tier)
+        add(makeFaultinjScenarios());         // faultinj_* (fault sweep)
         all.push_back(makeMicroScenario());
         return all;
     }();

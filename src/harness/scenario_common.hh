@@ -82,6 +82,7 @@ std::vector<Scenario> makeTraceScenarios();   // fig01, fig02, tab01
 std::vector<Scenario> makeYcsbScenarios();    // fig05/08/09/10 + ablations
 std::vector<Scenario> makeGapbsScenarios();   // fig06, fig07
 std::vector<Scenario> makeTier3Scenarios();   // tier3_* (DRAM/CXL/PM)
+std::vector<Scenario> makeFaultinjScenarios();  // faultinj_* (fault sweep)
 Scenario makeMicroScenario();                 // micro_structures
 
 }  // namespace harness

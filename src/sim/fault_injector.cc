@@ -1,0 +1,72 @@
+#include "sim/fault_injector.hh"
+
+namespace mclock {
+namespace sim {
+
+const char *
+faultPhaseName(FaultPhase phase)
+{
+    switch (phase) {
+      case FaultPhase::None:      return "none";
+      case FaultPhase::Copy:      return "copy";
+      case FaultPhase::Shootdown: return "shootdown";
+      case FaultPhase::Remap:     return "remap";
+    }
+    return "unknown";
+}
+
+FaultInjector::FaultInjector(const FaultConfig &cfg,
+                             std::uint64_t machineSeed)
+    : cfg_(cfg), rng_(machineSeed ^ (cfg.seed * 0x9e3779b97f4a7c15ull))
+{
+}
+
+double
+FaultInjector::tierMultiplier(TierRank rank) const
+{
+    const auto i = static_cast<std::size_t>(rank);
+    return i < cfg_.tierErrorMultiplier.size()
+               ? cfg_.tierErrorMultiplier[i]
+               : 1.0;
+}
+
+FaultDecision
+FaultInjector::nextTransaction(PageNum vpn, TierRank dstTier)
+{
+    FaultDecision d;
+    if (!cfg_.enabled)
+        return d;
+    ++transactions_;
+    // Fixed draw count per transaction (see file comment): the stream
+    // position after N transactions is independent of their outcomes.
+    const double uCopy = rng_.nextDouble();
+    const double uShootdown = rng_.nextDouble();
+    const double uRemap = rng_.nextDouble();
+    const double uPersist = rng_.nextDouble();
+
+    if (poisoned_.count(vpn)) {
+        d.failPhase = FaultPhase::Copy;
+        d.persistent = true;
+        ++injected_;
+        return d;
+    }
+
+    const double mult = tierMultiplier(dstTier);
+    if (uCopy < cfg_.copyFailProb * mult)
+        d.failPhase = FaultPhase::Copy;
+    else if (uShootdown < cfg_.shootdownFailProb * mult)
+        d.failPhase = FaultPhase::Shootdown;
+    else if (uRemap < cfg_.remapFailProb * mult)
+        d.failPhase = FaultPhase::Remap;
+
+    if (d.injected()) {
+        ++injected_;
+        d.persistent = uPersist < cfg_.persistentProb;
+        if (d.persistent)
+            poisoned_.insert(vpn);
+    }
+    return d;
+}
+
+}  // namespace sim
+}  // namespace mclock

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "mem/memory_config.hh"
+#include "sim/fault_injector.hh"
 #include "sim/memory_system.hh"
 
 namespace mclock {
@@ -45,6 +46,8 @@ struct MachineConfig
     SimTime metricsWindow = 20'000'000'000ull;
     /** Counter/tracepoint/sampler configuration. */
     StatsConfig stats;
+    /** Migration fault injection (disabled by default). */
+    FaultConfig faults;
 
     std::size_t
     tierBytes(TierRank rank) const

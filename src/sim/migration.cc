@@ -9,32 +9,76 @@ namespace mclock {
 namespace sim {
 
 MigrationEngine::MigrationEngine(MemorySystem &mem, const MemoryConfig &cfg,
-                                 CacheModel *llc)
-    : mem_(mem), cfg_(cfg), llc_(llc)
+                                 CacheModel *llc, FaultInjector *faults)
+    : mem_(mem), cfg_(cfg), llc_(llc), faults_(faults)
 {
 }
 
-bool
+FaultDecision
+MigrationEngine::decideFault(const Page *keyPage, TierRank dstTier)
+{
+    if (!faults_ || !faults_->enabled())
+        return {};
+    return faults_->nextTransaction(keyPage->vpn(), dstTier);
+}
+
+SimTime
+MigrationEngine::abortCost(FaultPhase phase, SimTime fullCost) const
+{
+    // The work burned grows with how far the transaction got: a copy
+    // fault hits mid-copy, a shootdown timeout after the copy, a remap
+    // race after the shootdown completed too.
+    switch (phase) {
+      case FaultPhase::Copy:      return fullCost / 2;
+      case FaultPhase::Shootdown: return fullCost * 3 / 4;
+      case FaultPhase::Remap:     return fullCost;
+      case FaultPhase::None:      break;
+    }
+    return 0;
+}
+
+MigrateResult
 MigrationEngine::migrate(Page *page, NodeId dst, SimTime &cost)
 {
     MCLOCK_ASSERT(page->resident());
+    cost = 0;
+    // A migration to the page's own node is a no-op, reported before
+    // the busy check: a locked page headed nowhere is not a failure.
+    if (dst == page->node())
+        return {MigrateOutcome::SameNode, FaultPhase::None, false};
     if (page->locked() || page->unevictable()) {
         ++failed_;
-        return false;
+        return {MigrateOutcome::Busy, FaultPhase::None, false};
     }
     Node &src = mem_.node(page->node());
     Node &dstNode = mem_.node(dst);
-    if (dst == page->node())
-        return false;
 
+    // Begin: reserve the destination frame.
     Paddr newPaddr;
     if (!dstNode.allocFrame(newPaddr)) {
         ++failed_;
-        return false;
+        return {MigrateOutcome::NoFrame, FaultPhase::None, false};
     }
 
+    const SimTime fullCost =
+        cfg_.pageMigrationCost(src.tier(), dstNode.tier());
+    const FaultDecision fd = decideFault(page, dstNode.tier());
+    if (fd.injected()) {
+        // Abort: release the reserved frame. The page never left its
+        // source frame, so the mapping needs no repair; post-copy
+        // aborts additionally discard the copied contents (rollback).
+        dstNode.freeFrame(newPaddr);
+        cost = abortCost(fd.failPhase, fullCost);
+        ++failed_;
+        ++aborts_;
+        if (fd.failPhase != FaultPhase::Copy)
+            ++rollbacks_;
+        return {MigrateOutcome::Aborted, fd.failPhase, fd.persistent};
+    }
+
+    // Commit: copy, shoot down, remap.
     const Paddr oldPaddr = page->paddr();
-    cost = cfg_.pageMigrationCost(src.tier(), dstNode.tier());
+    cost = fullCost;
     if (llc_)
         llc_->invalidatePage(oldPaddr);
     src.freeFrame(oldPaddr);
@@ -48,23 +92,43 @@ MigrationEngine::migrate(Page *page, NodeId dst, SimTime &cost)
         ++promotions_;
     else if (dstNode.tier() > src.tier())
         ++demotions_;
-    return true;
+    return {MigrateOutcome::Success, FaultPhase::None, false};
 }
 
-bool
+MigrateResult
 MigrationEngine::exchange(Page *a, Page *b, SimTime &cost)
 {
     MCLOCK_ASSERT(a->resident() && b->resident());
+    cost = 0;
     if (a->locked() || b->locked() || a->unevictable() ||
         b->unevictable()) {
         ++failed_;
-        return false;
+        return {MigrateOutcome::Busy, FaultPhase::None, false};
     }
     if (a->node() == b->node())
-        return false;
+        return {MigrateOutcome::SameNode, FaultPhase::None, false};
 
     Node &na = mem_.node(a->node());
     Node &nb = mem_.node(b->node());
+
+    // Nimble's two-sided exchange overlaps the copies; cost is ~1.7x a
+    // single migration rather than 2x.
+    const SimTime one = cfg_.pageMigrationCost(na.tier(), nb.tier());
+    const SimTime other = cfg_.pageMigrationCost(nb.tier(), na.tier());
+    const SimTime fullCost = (one + other) * 85 / 100;
+
+    // One transaction covers both sides: an exchange commits or rolls
+    // back atomically (no frame was reserved, so an abort only
+    // discards the staged copies).
+    const FaultDecision fd = decideFault(a, nb.tier());
+    if (fd.injected()) {
+        cost = abortCost(fd.failPhase, fullCost);
+        ++failed_;
+        ++aborts_;
+        if (fd.failPhase != FaultPhase::Copy)
+            ++rollbacks_;
+        return {MigrateOutcome::Aborted, fd.failPhase, fd.persistent};
+    }
 
     const Paddr pa = a->paddr();
     const Paddr pb = b->paddr();
@@ -76,18 +140,19 @@ MigrationEngine::exchange(Page *a, Page *b, SimTime &cost)
     b->placeOn(na.id(), pa);
     a->setPteDirty(false);
     b->setPteDirty(false);
-
-    // Nimble's two-sided exchange overlaps the copies; cost is ~1.7x a
-    // single migration rather than 2x.
-    const SimTime one = cfg_.pageMigrationCost(na.tier(), nb.tier());
-    const SimTime other = cfg_.pageMigrationCost(nb.tier(), na.tier());
-    cost = (one + other) * 85 / 100;
+    cost = fullCost;
 
     ++exchanges_;
     ++migrations_;
-    ++promotions_;
-    ++demotions_;
-    return true;
+    // One page went up and the other down only when the two nodes sit
+    // on different tiers; a same-tier node-to-node exchange is neither
+    // a promotion nor a demotion.
+    if (na.tier() != nb.tier()) {
+        ++tieredExchanges_;
+        ++promotions_;
+        ++demotions_;
+    }
+    return {MigrateOutcome::Success, FaultPhase::None, false};
 }
 
 }  // namespace sim

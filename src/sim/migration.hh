@@ -1,11 +1,21 @@
 /**
  * @file
- * Page migration engine: the migrate_pages() analogue.
+ * Page migration engine: the migrate_pages() analogue, run as a
+ * transaction (NOMAD-style).
  *
- * Migrating a page allocates a destination frame, copies the contents
- * (costed by tier bandwidths), fixes the mapping, invalidates stale LLC
- * lines for the old physical location, and frees the source frame.
- * Nimble-style two-sided page exchange is also provided.
+ * A migration proceeds through three phases once a destination frame is
+ * reserved: copy the contents (costed by tier bandwidths), shoot down
+ * stale TLB entries, and remap the page onto the new frame (freeing the
+ * source frame and invalidating stale LLC lines). Any phase can fail —
+ * a device error or a racing write during the copy, a shootdown
+ * timeout, the destination frame raced away before the remap — in which
+ * case the transaction aborts and rolls back: the reserved frame is
+ * released and the page stays mapped on its source frame, untouched.
+ * Whether a phase fails is decided by the (optional, deterministic)
+ * FaultInjector; with injection disabled every transaction commits and
+ * the engine behaves exactly like the old single-shot migrate().
+ *
+ * Nimble-style two-sided page exchange runs as one transaction too.
  */
 
 #ifndef MCLOCK_SIM_MIGRATION_HH_
@@ -15,6 +25,7 @@
 
 #include "base/types.hh"
 #include "mem/memory_config.hh"
+#include "sim/fault_injector.hh"
 
 namespace mclock {
 
@@ -25,46 +36,95 @@ namespace sim {
 
 class MemorySystem;
 
+/** Why a migration transaction did not commit. */
+enum class MigrateOutcome : std::uint8_t {
+    Success,   ///< transaction committed
+    SameNode,  ///< no-op: the page already sits on the destination node
+    Busy,      ///< page locked or unevictable; never entered a transaction
+    NoFrame,   ///< destination had no free frame to reserve
+    Aborted,   ///< a phase failed (injected); rolled back cleanly
+};
+
+/** Result of one migration/exchange transaction. */
+struct MigrateResult
+{
+    MigrateOutcome outcome = MigrateOutcome::Success;
+    /** The failing phase when outcome == Aborted. */
+    FaultPhase phase = FaultPhase::None;
+    /** Injected failure will recur on retry (page poisoned). */
+    bool persistent = false;
+
+    bool ok() const { return outcome == MigrateOutcome::Success; }
+};
+
 /** Executes page migrations and accounts for their cost. */
 class MigrationEngine
 {
   public:
+    /** @param faults may be null (no injection; always commits). */
     MigrationEngine(MemorySystem &mem, const MemoryConfig &cfg,
-                    CacheModel *llc);
+                    CacheModel *llc, FaultInjector *faults = nullptr);
 
     /**
-     * Migrate @p page to node @p dst.
+     * Migrate @p page to node @p dst as a transaction.
      *
-     * Fails (returns false) when the page is locked/unevictable or the
-     * destination has no free frame. On success, @p cost holds the
-     * simulated time the migration consumed (charged by the caller,
-     * inline or background depending on context) and the page's LRU
-     * membership is untouched — callers manage list moves.
+     * On success @p cost holds the simulated time the migration
+     * consumed; on an abort it holds the partial work burned before the
+     * failing phase (both charged by the caller, inline or background
+     * depending on context). The page's LRU membership is untouched —
+     * callers manage list moves, and on an abort the page is still
+     * resident on its source node, so callers return it to its source
+     * list. A migration to the page's own node is a no-op (SameNode),
+     * reported before the locked/unevictable check so a locked page
+     * headed nowhere is not a counted failure.
      */
-    bool migrate(Page *page, NodeId dst, SimTime &cost);
+    MigrateResult migrate(Page *page, NodeId dst, SimTime &cost);
 
     /**
      * Two-sided exchange of the frames of @p a and @p b (Nimble's
      * optimized exchange: one of the copies rides the other's buffer, so
-     * the cost is less than two independent migrations).
+     * the cost is less than two independent migrations). Runs as one
+     * transaction keyed on @p a; an abort leaves both pages in place.
      */
-    bool exchange(Page *a, Page *b, SimTime &cost);
+    MigrateResult exchange(Page *a, Page *b, SimTime &cost);
 
     std::uint64_t migrations() const { return migrations_; }
     std::uint64_t promotions() const { return promotions_; }
     std::uint64_t demotions() const { return demotions_; }
+
+    /** Completed exchanges (same-tier ones included). */
     std::uint64_t exchanges() const { return exchanges_; }
+
+    /** Completed exchanges whose two nodes sat on different tiers. */
+    std::uint64_t tieredExchanges() const { return tieredExchanges_; }
+
     std::uint64_t failed() const { return failed_; }
 
+    /** Transactions aborted by an injected phase failure. */
+    std::uint64_t aborts() const { return aborts_; }
+
+    /** Aborts after the copy completed (state had to be rolled back). */
+    std::uint64_t rollbacks() const { return rollbacks_; }
+
   private:
+    /** Injector verdict for the next transaction (None when absent). */
+    FaultDecision decideFault(const Page *keyPage, TierRank dstTier);
+
+    /** Account an abort and compute the partial cost burned. */
+    SimTime abortCost(FaultPhase phase, SimTime copyCost) const;
+
     MemorySystem &mem_;
     const MemoryConfig &cfg_;
     CacheModel *llc_;      ///< may be null (cache model disabled)
+    FaultInjector *faults_;  ///< may be null (no injection)
     std::uint64_t migrations_ = 0;
     std::uint64_t promotions_ = 0;
     std::uint64_t demotions_ = 0;
     std::uint64_t exchanges_ = 0;
+    std::uint64_t tieredExchanges_ = 0;
     std::uint64_t failed_ = 0;
+    std::uint64_t aborts_ = 0;
+    std::uint64_t rollbacks_ = 0;
 };
 
 }  // namespace sim

@@ -13,13 +13,16 @@ Simulator::Simulator(MachineConfig cfg)
       mem_(cfg_.nodes),
       llc_(cfg_.cache.enabled ? std::make_unique<CacheModel>(cfg_.cache)
                               : nullptr),
-      migration_(mem_, cfg_.mem, llc_.get()),
+      faults_(cfg_.faults, cfg_.seed),
+      migration_(mem_, cfg_.mem, llc_.get(), &faults_),
       metrics_(cfg_.metricsWindow),
       swap_(cfg_.swapPages),
       rng_(cfg_.seed),
       vmstat_(mem_.numNodes()),
       trace_(cfg_.stats.traceCapacity),
-      belowLow_(mem_.numNodes(), false)
+      belowLow_(mem_.numNodes(), false),
+      promoteFailStreak_(mem_.numNodes(), 0),
+      promoteThrottleUntil_(mem_.numNodes(), 0)
 {
     trace_.bindClock(&now_);
     // Low-level subsystems (LRU lists) record through raw sinks so
@@ -72,7 +75,9 @@ Simulator::unmapRegion(Vaddr start)
             mem_.node(pg->node()).freeFrame(pg->paddr());
             pg->unplace();
         } else {
-            swap_.pageIn(pg);  // release the swap slot
+            // Discard the swapped-out copy. Not a page-in: the slot is
+            // freed without any device read happening.
+            swap_.releaseSlot(pg);
         }
         space_.destroyPage(vpn);
     }
@@ -189,8 +194,8 @@ Simulator::chargeMigration(SimTime cost, ChargeMode mode,
     }
 }
 
-bool
-Simulator::migratePage(Page *page, NodeId dst, ChargeMode mode)
+MigrateResult
+Simulator::migrateOnce(Page *page, NodeId dst, ChargeMode mode)
 {
     MCLOCK_ASSERT(!page->onLru());
     const TierRank srcTier = pageTier(page);
@@ -199,12 +204,28 @@ Simulator::migratePage(Page *page, NodeId dst, ChargeMode mode)
     trace_.record(stats::TraceEventType::MigrationStart, srcNode,
                   page->vpn(), static_cast<std::uint64_t>(dst));
     SimTime cost = 0;
-    if (!migration_.migrate(page, dst, cost)) {
+    const MigrateResult r = migration_.migrate(page, dst, cost);
+    if (!r.ok()) {
+        if (r.outcome == MigrateOutcome::Aborted) {
+            // The burned partial work still costs time. Only aborts
+            // that reached the shootdown sent IPIs (the inline part).
+            const SimTime inlinePart =
+                r.phase == FaultPhase::Copy
+                    ? 0
+                    : cfg_.mem.migrationFixedCost / 2;
+            chargeMigration(cost, mode, inlinePart);
+            vmstat_.add(stats::VmItem::PgmigrateAbort, srcNode);
+            if (r.phase != FaultPhase::Copy)
+                vmstat_.add(stats::VmItem::PgmigrateRollback, srcNode);
+            trace_.record(stats::TraceEventType::MigrationAbort, srcNode,
+                          page->vpn(),
+                          static_cast<std::uint64_t>(r.phase));
+        }
         if (dir < 0)
             vmstat_.add(stats::VmItem::PgpromoteFail, srcNode);
         else if (dir > 0)
             vmstat_.add(stats::VmItem::PgdemoteFail, srcNode);
-        return false;
+        return r;
     }
     const TierRank dstTier = mem_.node(dst).tier();
     chargeMigration(cost, mode, cfg_.mem.migrationFixedCost);
@@ -218,7 +239,47 @@ Simulator::migratePage(Page *page, NodeId dst, ChargeMode mode)
     }
     trace_.record(stats::TraceEventType::MigrationComplete, srcNode,
                   page->vpn(), static_cast<std::uint64_t>(dst));
-    return true;
+    return r;
+}
+
+bool
+Simulator::migratePage(Page *page, NodeId dst, ChargeMode mode)
+{
+    return migrateOnce(page, dst, mode).ok();
+}
+
+bool
+Simulator::promotionThrottled(NodeId node) const
+{
+    const auto id = static_cast<std::size_t>(node);
+    return id < promoteThrottleUntil_.size() &&
+           now_ < promoteThrottleUntil_[id];
+}
+
+void
+Simulator::notePromoteSuccess(NodeId node)
+{
+    if (!faults_.enabled())
+        return;
+    promoteFailStreak_[static_cast<std::size_t>(node)] = 0;
+}
+
+void
+Simulator::notePromoteAbort(NodeId node)
+{
+    if (!faults_.enabled())
+        return;
+    unsigned &streak = promoteFailStreak_[static_cast<std::size_t>(node)];
+    if (++streak < cfg_.faults.throttleThreshold)
+        return;
+    // Graceful degradation: stop hammering a failing path and let the
+    // node cool down before promoting from it again.
+    streak = 0;
+    const SimTime until = now_ + cfg_.faults.throttleCooldownNs;
+    promoteThrottleUntil_[static_cast<std::size_t>(node)] = until;
+    vmstat_.add(stats::VmItem::PgpromoteThrottled, node);
+    trace_.record(stats::TraceEventType::PromoteThrottle, node,
+                  cfg_.faults.throttleThreshold, until);
 }
 
 bool
@@ -227,14 +288,36 @@ Simulator::promotePage(Page *page, ChargeMode mode)
     TierRank up;
     if (!mem_.higherTier(pageTier(page), up))
         return false;
-    const NodeId dst = mem_.pickNodeWithSpace(up, /*respectMin=*/false);
-    if (dst == kInvalidNode) {
-        // No free frame anywhere in the upper tier: the promotion
-        // failed before a migration could start.
-        vmstat_.add(stats::VmItem::PgpromoteFail, page->node());
+    const NodeId srcNode = page->node();
+    if (promotionThrottled(srcNode))
         return false;
+    const unsigned maxAttempts =
+        faults_.enabled() ? cfg_.faults.maxRetries + 1 : 1;
+    for (unsigned attempt = 0; attempt < maxAttempts; ++attempt) {
+        const NodeId dst =
+            mem_.pickNodeWithSpace(up, /*respectMin=*/false);
+        if (dst == kInvalidNode) {
+            // No free frame anywhere in the upper tier: the promotion
+            // failed before a migration could start.
+            vmstat_.add(stats::VmItem::PgpromoteFail, srcNode);
+            return false;
+        }
+        const MigrateResult r = migrateOnce(page, dst, mode);
+        if (r.ok()) {
+            notePromoteSuccess(srcNode);
+            return true;
+        }
+        const bool retryable =
+            r.outcome == MigrateOutcome::Aborted && !r.persistent;
+        if (!retryable || attempt + 1 == maxAttempts) {
+            if (r.outcome == MigrateOutcome::Aborted)
+                notePromoteAbort(srcNode);
+            return false;
+        }
+        vmstat_.add(stats::VmItem::PgmigrateRetry, srcNode);
+        chargeBackground(cfg_.faults.retryBackoffNs << attempt);
     }
-    return migratePage(page, dst, mode);
+    return false;
 }
 
 bool
@@ -243,12 +326,27 @@ Simulator::demotePage(Page *page, ChargeMode mode)
     TierRank down;
     if (!mem_.lowerTier(pageTier(page), down))
         return false;
-    const NodeId dst = mem_.pickNodeWithSpace(down, /*respectMin=*/true);
-    if (dst == kInvalidNode) {
-        vmstat_.add(stats::VmItem::PgdemoteFail, page->node());
-        return false;
+    const NodeId srcNode = page->node();
+    const unsigned maxAttempts =
+        faults_.enabled() ? cfg_.faults.maxRetries + 1 : 1;
+    for (unsigned attempt = 0; attempt < maxAttempts; ++attempt) {
+        const NodeId dst =
+            mem_.pickNodeWithSpace(down, /*respectMin=*/true);
+        if (dst == kInvalidNode) {
+            vmstat_.add(stats::VmItem::PgdemoteFail, srcNode);
+            return false;
+        }
+        const MigrateResult r = migrateOnce(page, dst, mode);
+        if (r.ok())
+            return true;
+        const bool retryable =
+            r.outcome == MigrateOutcome::Aborted && !r.persistent;
+        if (!retryable || attempt + 1 == maxAttempts)
+            return false;
+        vmstat_.add(stats::VmItem::PgmigrateRetry, srcNode);
+        chargeBackground(cfg_.faults.retryBackoffNs << attempt);
     }
-    return migratePage(page, dst, mode);
+    return false;
 }
 
 bool
@@ -262,18 +360,41 @@ Simulator::exchangePages(Page *hot, Page *cold, ChargeMode mode)
     trace_.record(stats::TraceEventType::MigrationStart, hotNode,
                   hot->vpn(), static_cast<std::uint64_t>(coldNode));
     SimTime cost = 0;
-    if (!migration_.exchange(hot, cold, cost))
+    const MigrateResult r = migration_.exchange(hot, cold, cost);
+    if (!r.ok()) {
+        if (r.outcome == MigrateOutcome::Aborted) {
+            const SimTime inlinePart =
+                r.phase == FaultPhase::Copy
+                    ? 0
+                    : cfg_.mem.migrationFixedCost * 17 / 20;
+            chargeMigration(cost, mode, inlinePart);
+            vmstat_.add(stats::VmItem::PgmigrateAbort, hotNode);
+            if (r.phase != FaultPhase::Copy)
+                vmstat_.add(stats::VmItem::PgmigrateRollback, hotNode);
+            trace_.record(stats::TraceEventType::MigrationAbort, hotNode,
+                          hot->vpn(),
+                          static_cast<std::uint64_t>(r.phase));
+        }
         return false;
-    chargeMigration(cost, mode, cfg_.mem.migrationFixedCost * 17 / 10);
-    // The hot page moved up, the cold page moved down (by construction
-    // callers pass (lower-tier page, upper-tier page)).
-    vmstat_.add(stats::VmItem::Pgexchange, hotNode);
-    if (hotSrc > coldSrc) {
-        metrics_.recordPromotion(now_, hot);
-        vmstat_.add(stats::VmItem::PgpromoteSuccess, coldNode);
     }
-    metrics_.recordDemotion(now_);
-    vmstat_.add(stats::VmItem::Pgdemote, coldNode);
+    chargeMigration(cost, mode, cfg_.mem.migrationFixedCost * 17 / 10);
+    // Promotion/demotion (and pgexchange itself) only when the two
+    // nodes sit on different tiers: a same-tier node-to-node exchange
+    // moves no page up or down. Normally callers pass (lower-tier
+    // page, upper-tier page); handle the reversed order too.
+    if (hotSrc != coldSrc) {
+        Page *upPage = hotSrc > coldSrc ? hot : cold;
+        // The promoted page lands on the demoted page's source node
+        // (they swapped frames), so one upper-tier node takes both the
+        // pgpromote_success (kernel convention: the target node) and
+        // the pgdemote (the demoted page's source).
+        const NodeId upperNode = hotSrc > coldSrc ? coldNode : hotNode;
+        vmstat_.add(stats::VmItem::Pgexchange, hotNode);
+        metrics_.recordPromotion(now_, upPage);
+        vmstat_.add(stats::VmItem::PgpromoteSuccess, upperNode);
+        metrics_.recordDemotion(now_);
+        vmstat_.add(stats::VmItem::Pgdemote, upperNode);
+    }
     trace_.record(stats::TraceEventType::MigrationComplete, hotNode,
                   hot->vpn(), static_cast<std::uint64_t>(coldNode));
     return true;
@@ -285,7 +406,13 @@ Simulator::evictPage(Page *page)
     MCLOCK_ASSERT(!page->onLru());
     MCLOCK_ASSERT(page->resident());
     if (!page->isAnon() || swap_.hasSpace()) {
-        vmstat_.add(stats::VmItem::Pswpout, page->node());
+        // Kernel semantics: pswpout counts swap-area writes, i.e.
+        // anonymous pages only; a file-backed page is written back to
+        // its file and shows up as a writeback instead.
+        if (page->isAnon())
+            vmstat_.add(stats::VmItem::Pswpout, page->node());
+        else
+            vmstat_.add(stats::VmItem::Pgwriteback, page->node());
         vmstat_.add(stats::VmItem::Pgsteal, page->node());
         swap_.pageOut(page);
         chargeBackground(cfg_.mem.swapLatency);
@@ -297,7 +424,8 @@ Simulator::evictPage(Page *page)
         page->setActive(false);
         page->setPromoteFlag(false);
         page->setPteReferenced(false);
-        metrics_.stats().inc("swap_outs");
+        metrics_.stats().inc(page->isAnon() ? "swap_outs"
+                                            : "writebacks");
     } else {
         // No swap space: in the kernel this path ends with the OOM
         // killer. We surface it as a fatal config error instead.

@@ -24,6 +24,7 @@
 #include "mem/memory_config.hh"
 #include "policies/policy.hh"
 #include "sim/daemon.hh"
+#include "sim/fault_injector.hh"
 #include "sim/machine.hh"
 #include "sim/memory_system.hh"
 #include "sim/metrics.hh"
@@ -131,17 +132,29 @@ class Simulator
     /**
      * Migrate an isolated page (not on any LRU list) to @p dst, charging
      * the cost and recording promotion/demotion metrics by direction.
+     * One transaction, no retries: an injected abort fails the call (the
+     * page stays resident on its source node).
      */
     bool migratePage(Page *page, NodeId dst, ChargeMode mode);
 
     /**
      * Migrate an isolated page one tier up, picking the destination node
      * with the most space. Fails when no higher tier or no free frame.
+     * With fault injection enabled, transient aborts are retried with
+     * exponential backoff (cfg.faults.maxRetries), and a node whose
+     * promotions keep aborting is throttled for a cooldown window.
      */
     bool promotePage(Page *page, ChargeMode mode);
 
-    /** Migrate an isolated page one tier down. */
+    /** Migrate an isolated page one tier down (same retry policy). */
     bool demotePage(Page *page, ChargeMode mode);
+
+    /**
+     * True while @p node's promotions are throttled (graceful
+     * degradation after cfg.faults.throttleThreshold consecutive
+     * aborted promotions). Always false with injection disabled.
+     */
+    bool promotionThrottled(NodeId node) const;
 
     /** Two-sided exchange of two isolated pages (Nimble). */
     bool exchangePages(Page *hot, Page *cold, ChargeMode mode);
@@ -160,9 +173,16 @@ class Simulator
 
     MigrationEngine &migrationEngine() { return migration_; }
 
+    /** Deterministic migration-fault oracle (disabled by default). */
+    FaultInjector &faultInjector() { return faults_; }
+    const FaultInjector &faultInjector() const { return faults_; }
+
   private:
     void chargeMigration(SimTime cost, ChargeMode mode,
                          SimTime inlinePortion = 0);
+    MigrateResult migrateOnce(Page *page, NodeId dst, ChargeMode mode);
+    void notePromoteSuccess(NodeId node);
+    void notePromoteAbort(NodeId node);
     void accessOnePage(Vaddr va, bool write, bool supervised);
     void accessRange(Vaddr va, std::size_t bytes, bool write,
                      bool supervised);
@@ -174,6 +194,7 @@ class Simulator
     MachineConfig cfg_;
     MemorySystem mem_;
     std::unique_ptr<CacheModel> llc_;
+    FaultInjector faults_;
     MigrationEngine migration_;
     DaemonScheduler daemons_;
     Metrics metrics_;
@@ -185,6 +206,10 @@ class Simulator
     std::unique_ptr<stats::VmstatSampler> sampler_;
     /** Per-node below-low-watermark latch for crossing detection. */
     std::vector<bool> belowLow_;
+    /** Per-node consecutive aborted promotions (fault injection only). */
+    std::vector<unsigned> promoteFailStreak_;
+    /** Per-node promotion-throttle cooldown end (simulated ns). */
+    std::vector<SimTime> promoteThrottleUntil_;
     std::unique_ptr<policies::TieringPolicy> policy_;
     SimTime now_ = 0;
     bool inPressure_ = false;

@@ -11,6 +11,8 @@ traceEventName(TraceEventType type)
     switch (type) {
       case TraceEventType::MigrationStart:    return "migration_start";
       case TraceEventType::MigrationComplete: return "migration_complete";
+      case TraceEventType::MigrationAbort:    return "migration_abort";
+      case TraceEventType::PromoteThrottle:   return "promote_throttle";
       case TraceEventType::ListRotation:      return "list_rotation";
       case TraceEventType::KswapdWake:        return "kswapd_wake";
       case TraceEventType::KpromotedWake:     return "kpromoted_wake";

@@ -30,6 +30,9 @@ namespace stats {
 enum class TraceEventType : std::uint8_t {
     MigrationStart,     ///< migrate_pages entry: arg0=vpn, arg1=dst node
     MigrationComplete,  ///< migrate_pages success: arg0=vpn, arg1=dst
+    MigrationAbort,     ///< transaction aborted: arg0=vpn, arg1=phase
+    PromoteThrottle,    ///< node promotion throttled: arg0=streak,
+                        ///< arg1=cooldown end (simulated ns)
     ListRotation,       ///< second-chance rotation: arg0=vpn, arg1=list
     KswapdWake,         ///< pressure handler wake: arg0=free frames
     KpromotedWake,      ///< promotion daemon wake: arg0=promote-list size

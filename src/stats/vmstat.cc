@@ -25,6 +25,11 @@ vmItemName(VmItem item)
       case VmItem::PghintFault:       return "pghint_fault";
       case VmItem::Pswpin:            return "pswpin";
       case VmItem::Pswpout:           return "pswpout";
+      case VmItem::Pgwriteback:       return "pgwriteback";
+      case VmItem::PgmigrateAbort:    return "pgmigrate_abort";
+      case VmItem::PgmigrateRetry:    return "pgmigrate_retry";
+      case VmItem::PgmigrateRollback: return "pgmigrate_rollback";
+      case VmItem::PgpromoteThrottled:return "pgpromote_throttled";
       case VmItem::KswapdWake:        return "kswapd_wake";
       case VmItem::KpromotedWake:     return "kpromoted_wake";
       case VmItem::WatermarkLowCross: return "watermark_low_cross";

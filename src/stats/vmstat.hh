@@ -52,7 +52,12 @@ enum class VmItem : std::uint8_t {
     PgfaultPm,         ///< frames faulted in on a PM node
     PghintFault,       ///< NUMA-hint (poisoned PTE) faults taken
     Pswpin,            ///< pages swapped back in from block storage
-    Pswpout,           ///< pages written out to block storage
+    Pswpout,           ///< anonymous pages written to the swap area
+    Pgwriteback,       ///< file-backed pages written back to their file
+    PgmigrateAbort,    ///< migration transactions aborted mid-flight
+    PgmigrateRetry,    ///< aborted migrations re-attempted (backoff)
+    PgmigrateRollback, ///< post-copy aborts whose state was rolled back
+    PgpromoteThrottled,///< node promotion throttled after repeated aborts
     KswapdWake,        ///< pressure handler invocations (kswapd wakes)
     KpromotedWake,     ///< promotion daemon invocations
     WatermarkLowCross, ///< node free count newly dipped below low

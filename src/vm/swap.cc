@@ -8,8 +8,11 @@ void
 SwapDevice::pageOut(Page *page)
 {
     ++pageOuts_;
-    if (!page->isAnon())
-        return;  // file-backed pages write back to their file
+    if (!page->isAnon()) {
+        ++writebacks_;  // file-backed pages write back to their file
+        return;
+    }
+    ++swapOuts_;
     MCLOCK_ASSERT(hasSpace());
     slots_.insert(page);
 }
@@ -18,6 +21,14 @@ void
 SwapDevice::pageIn(Page *page)
 {
     ++pageIns_;
+    if (!page->isAnon())
+        return;
+    slots_.erase(page);
+}
+
+void
+SwapDevice::releaseSlot(Page *page)
+{
     if (!page->isAnon())
         return;
     slots_.erase(page);

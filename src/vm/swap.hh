@@ -44,15 +44,30 @@ class SwapDevice
     /** Record that @p page's contents were read back in. */
     void pageIn(Page *page);
 
+    /**
+     * Free @p page's swap slot without reading it back (the region was
+     * unmapped and the contents discarded). Unlike pageIn(), this is
+     * not device traffic and does not count as a page-in.
+     */
+    void releaseSlot(Page *page);
+
     std::size_t usedSlots() const { return slots_.size(); }
     std::uint64_t pageOuts() const { return pageOuts_; }
     std::uint64_t pageIns() const { return pageIns_; }
+
+    /** Anonymous page-outs only (swap-area writes). */
+    std::uint64_t swapOuts() const { return swapOuts_; }
+
+    /** File-backed page-outs only (writebacks to the file). */
+    std::uint64_t writebacks() const { return writebacks_; }
 
   private:
     std::size_t capacity_;
     std::unordered_set<const Page *> slots_;
     std::uint64_t pageOuts_ = 0;
     std::uint64_t pageIns_ = 0;
+    std::uint64_t swapOuts_ = 0;
+    std::uint64_t writebacks_ = 0;
 };
 
 }  // namespace mclock

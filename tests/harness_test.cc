@@ -67,10 +67,10 @@ expectIdentical(const ScenarioOutput &a, const ScenarioOutput &b)
 
 // --- Registry -----------------------------------------------------------
 
-TEST(ScenarioRegistry, ListsAllSeventeenExperiments)
+TEST(ScenarioRegistry, ListsAllNineteenExperiments)
 {
     const auto &all = allScenarios();
-    EXPECT_EQ(all.size(), 17u);
+    EXPECT_EQ(all.size(), 19u);
     std::set<std::string> names;
     for (const auto &sc : all)
         names.insert(sc.name);
@@ -79,6 +79,7 @@ TEST(ScenarioRegistry, ListsAllSeventeenExperiments)
           "fig08", "fig09", "fig10", "ablation_promote_list",
           "ablation_tracking_cost", "ablation_ratio", "ablation_llc",
           "tier3_ycsb_a", "tier3_ycsb_b", "tier3_pagerank",
+          "faultinj_ycsb_a", "faultinj_pagerank",
           "micro_structures"}) {
         EXPECT_TRUE(names.count(expected))
             << "missing scenario " << expected;
@@ -110,7 +111,7 @@ TEST(ScenarioRegistry, GoldenEligibilityMatchesDeterminism)
     // tab01 is static metadata and micro_structures is host-timed;
     // everything else must be in the golden suite.
     const auto names = goldenScenarioNames();
-    EXPECT_EQ(names.size(), 15u);
+    EXPECT_EQ(names.size(), 17u);
     for (const auto &name : names) {
         EXPECT_NE(name, "tab01");
         EXPECT_NE(name, "micro_structures");

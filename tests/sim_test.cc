@@ -188,7 +188,7 @@ TEST_F(MigrationTest, PromotionMovesFrame)
     Page *pg = makeResident(1);
     const Paddr oldPa = pg->paddr();
     SimTime cost = 0;
-    ASSERT_TRUE(engine_.migrate(pg, 0, cost));
+    ASSERT_TRUE(engine_.migrate(pg, 0, cost).ok());
     EXPECT_EQ(pg->node(), 0);
     EXPECT_NE(pg->paddr(), oldPa);
     EXPECT_GT(cost, 0u);
@@ -202,7 +202,7 @@ TEST_F(MigrationTest, DemotionCountsSeparately)
 {
     Page *pg = makeResident(0);
     SimTime cost = 0;
-    ASSERT_TRUE(engine_.migrate(pg, 1, cost));
+    ASSERT_TRUE(engine_.migrate(pg, 1, cost).ok());
     EXPECT_EQ(engine_.demotions(), 1u);
 }
 
@@ -211,7 +211,7 @@ TEST_F(MigrationTest, LockedPageFails)
     Page *pg = makeResident(1);
     pg->setLocked(true);
     SimTime cost = 0;
-    EXPECT_FALSE(engine_.migrate(pg, 0, cost));
+    EXPECT_FALSE(engine_.migrate(pg, 0, cost).ok());
     EXPECT_EQ(engine_.failed(), 1u);
     EXPECT_EQ(pg->node(), 1);
 }
@@ -223,7 +223,7 @@ TEST_F(MigrationTest, FullDestinationFails)
         makeResident(0);
     Page *pg = makeResident(1);
     SimTime cost = 0;
-    EXPECT_FALSE(engine_.migrate(pg, 0, cost));
+    EXPECT_FALSE(engine_.migrate(pg, 0, cost).ok());
 }
 
 TEST_F(MigrationTest, ExchangeSwapsPlacement)
@@ -233,7 +233,7 @@ TEST_F(MigrationTest, ExchangeSwapsPlacement)
     const Paddr hotPa = hot->paddr();
     const Paddr coldPa = cold->paddr();
     SimTime cost = 0;
-    ASSERT_TRUE(engine_.exchange(hot, cold, cost));
+    ASSERT_TRUE(engine_.exchange(hot, cold, cost).ok());
     EXPECT_EQ(hot->node(), 0);
     EXPECT_EQ(cold->node(), 1);
     EXPECT_EQ(hot->paddr(), coldPa);
@@ -251,7 +251,7 @@ TEST_F(MigrationTest, MigrationClearsPteDirty)
     pg->setPteDirty(true);
     pg->setDirty(true);
     SimTime cost;
-    ASSERT_TRUE(engine_.migrate(pg, 0, cost));
+    ASSERT_TRUE(engine_.migrate(pg, 0, cost).ok());
     EXPECT_FALSE(pg->pteDirty());
     EXPECT_TRUE(pg->dirty());  // logical dirtiness survives
 }

@@ -20,6 +20,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 #include <set>
 #include <string>
 #include <tuple>
@@ -36,6 +37,7 @@
 #include "stats/sampler.hh"
 #include "stats/tracepoint.hh"
 #include "stats/vmstat.hh"
+#include "vm/page.hh"
 #include "workloads/ycsb.hh"
 
 using namespace mclock;
@@ -404,6 +406,174 @@ INSTANTIATE_TEST_SUITE_P(
         }
         return name;
     });
+
+// --- Accounting regressions: exchange / eviction / unmap ------------------
+
+std::unique_ptr<sim::Simulator>
+makeStaticSim(sim::MachineConfig cfg = sim::tinyTestMachine())
+{
+    auto s = std::make_unique<sim::Simulator>(cfg);
+    s->setPolicy(policies::makePolicy("static"));
+    return s;
+}
+
+TEST(ExchangeAccounting, SameTierExchangeIsNotAPromotionOrDemotion)
+{
+    // Two DRAM nodes: a node-to-node exchange inside one tier moves no
+    // page up or down, so neither pgexchange nor the promotion and
+    // demotion books may tick (they used to).
+    sim::MachineConfig cfg = sim::tinyTestMachine();
+    cfg.nodes = {{TierKind::Dram, 1_MiB},
+                 {TierKind::Dram, 1_MiB},
+                 {TierKind::Pmem, 4_MiB}};
+    auto sim = makeStaticSim(cfg);
+    const Vaddr a = sim->mmap(4 * kPageSize);
+    for (int i = 0; i < 4; ++i)
+        sim->write(a + static_cast<Vaddr>(i) * kPageSize);
+    Page *onNode0 = nullptr;
+    Page *onNode1 = nullptr;
+    sim->space().forEachPage([&](Page *pg) {
+        if (pg->node() == 0)
+            onNode0 = pg;
+        else if (pg->node() == 1)
+            onNode1 = pg;
+    });
+    ASSERT_NE(onNode0, nullptr);
+    ASSERT_NE(onNode1, nullptr);
+    sim->policy().onPageFreed(onNode0);
+    sim->policy().onPageFreed(onNode1);
+
+    ASSERT_TRUE(sim->exchangePages(onNode0, onNode1,
+                                   sim::Simulator::ChargeMode::Inline));
+    EXPECT_EQ(onNode0->node(), 1);
+    EXPECT_EQ(onNode1->node(), 0);
+    EXPECT_EQ(sim->migrationEngine().exchanges(), 1u);
+    EXPECT_EQ(sim->migrationEngine().tieredExchanges(), 0u);
+    EXPECT_EQ(sim->migrationEngine().promotions(), 0u);
+    EXPECT_EQ(sim->migrationEngine().demotions(), 0u);
+    EXPECT_EQ(sim->vmstat().global(VmItem::Pgexchange), 0u);
+    EXPECT_EQ(sim->vmstat().global(VmItem::PgpromoteSuccess), 0u);
+    EXPECT_EQ(sim->vmstat().global(VmItem::Pgdemote), 0u);
+    EXPECT_EQ(sim->metrics().totalPromotions(), 0u);
+    EXPECT_EQ(sim->metrics().totalDemotions(), 0u);
+    const auto violations = collectCounterViolations(*sim);
+    EXPECT_TRUE(violations.empty()) << violations.front();
+}
+
+TEST(ExchangeAccounting, CrossTierExchangeCountsOnePromotionAndDemotion)
+{
+    auto sim = makeStaticSim();
+    const std::size_t dramFrames = sim->memory().node(0).totalFrames();
+    const Vaddr a = sim->mmap((dramFrames + 4) * kPageSize);
+    for (std::size_t i = 0; i < dramFrames + 4; ++i)
+        sim->write(a + i * kPageSize);
+    Page *hotPm = nullptr;
+    Page *coldDram = nullptr;
+    sim->space().forEachPage([&](Page *pg) {
+        if (sim->pageTier(pg) == TierKind::Pmem)
+            hotPm = pg;
+        else
+            coldDram = pg;
+    });
+    ASSERT_NE(hotPm, nullptr);
+    ASSERT_NE(coldDram, nullptr);
+    sim->policy().onPageFreed(hotPm);
+    sim->policy().onPageFreed(coldDram);
+
+    ASSERT_TRUE(sim->exchangePages(hotPm, coldDram,
+                                   sim::Simulator::ChargeMode::Inline));
+    EXPECT_EQ(sim->vmstat().global(VmItem::Pgexchange), 1u);
+    EXPECT_EQ(sim->vmstat().global(VmItem::PgpromoteSuccess), 1u);
+    EXPECT_EQ(sim->vmstat().global(VmItem::Pgdemote), 1u);
+    EXPECT_EQ(sim->migrationEngine().tieredExchanges(), 1u);
+    EXPECT_EQ(sim->metrics().totalPromotions(), 1u);
+    EXPECT_EQ(sim->metrics().totalDemotions(), 1u);
+    const auto violations = collectCounterViolations(*sim);
+    EXPECT_TRUE(violations.empty()) << violations.front();
+}
+
+TEST(EvictionAccounting, FileBackedEvictionIsWritebackNotSwap)
+{
+    auto sim = makeStaticSim();
+    const Vaddr a = sim->mmap(kPageSize, /*anon=*/false, "file");
+    sim->write(a);
+    Page *pg = sim->space().lookup(pageNumOf(a));
+    ASSERT_NE(pg, nullptr);
+    ASSERT_FALSE(pg->isAnon());
+    sim->policy().onPageFreed(pg);
+    sim->evictPage(pg);
+
+    // Written back to its file: a writeback, not swap-area traffic.
+    EXPECT_EQ(sim->vmstat().global(VmItem::Pswpout), 0u);
+    EXPECT_EQ(sim->stats().get("swap_outs"), 0u);
+    EXPECT_EQ(sim->swap().swapOuts(), 0u);
+    EXPECT_EQ(sim->vmstat().global(VmItem::Pgwriteback), 1u);
+    EXPECT_EQ(sim->stats().get("writebacks"), 1u);
+    EXPECT_EQ(sim->swap().writebacks(), 1u);
+    EXPECT_EQ(sim->vmstat().global(VmItem::Pgsteal), 1u);
+    EXPECT_EQ(sim->swap().usedSlots(), 0u);  // no slot consumed
+    const auto violations = collectCounterViolations(*sim);
+    EXPECT_TRUE(violations.empty()) << violations.front();
+}
+
+TEST(EvictionAccounting, AnonymousEvictionStillCountsSwapOut)
+{
+    auto sim = makeStaticSim();
+    const Vaddr a = sim->mmap(kPageSize);
+    sim->write(a);
+    Page *pg = sim->space().lookup(pageNumOf(a));
+    sim->policy().onPageFreed(pg);
+    sim->evictPage(pg);
+    EXPECT_EQ(sim->vmstat().global(VmItem::Pswpout), 1u);
+    EXPECT_EQ(sim->vmstat().global(VmItem::Pgwriteback), 0u);
+    EXPECT_EQ(sim->swap().swapOuts(), 1u);
+    EXPECT_EQ(sim->swap().usedSlots(), 1u);
+}
+
+TEST(EvictionAccounting, UnmapOfSwappedPageIsNotAPageIn)
+{
+    auto sim = makeStaticSim();
+    const Vaddr a = sim->mmap(2 * kPageSize);
+    sim->write(a);
+    Page *pg = sim->space().lookup(pageNumOf(a));
+    sim->policy().onPageFreed(pg);
+    sim->evictPage(pg);
+    ASSERT_EQ(sim->swap().usedSlots(), 1u);
+    ASSERT_EQ(sim->swap().pageOuts(), 1u);
+
+    // Discarding the region frees the slot without a device read; the
+    // old path routed this through pageIn() and inflated pswpin.
+    sim->unmapRegion(a);
+    EXPECT_EQ(sim->swap().usedSlots(), 0u);
+    EXPECT_EQ(sim->swap().pageIns(), 0u);
+    EXPECT_EQ(sim->vmstat().global(VmItem::Pswpin), 0u);
+    EXPECT_EQ(sim->stats().get("swap_ins"), 0u);
+}
+
+TEST(MigrationAccounting, LockedPageHeadedToItsOwnNodeIsANoOp)
+{
+    auto sim = makeStaticSim();
+    const Vaddr a = sim->mmap(kPageSize);
+    sim->write(a);
+    Page *pg = sim->space().lookup(pageNumOf(a));
+    ASSERT_EQ(pg->node(), 0);
+    sim->policy().onPageFreed(pg);
+    pg->setLocked(true);
+
+    // Destination == current node: reported as a no-op before the
+    // locked check, so the failure books stay clean.
+    EXPECT_FALSE(
+        sim->migratePage(pg, 0, sim::Simulator::ChargeMode::Inline));
+    EXPECT_EQ(sim->migrationEngine().failed(), 0u);
+    EXPECT_EQ(sim->vmstat().global(VmItem::PgpromoteFail), 0u);
+    EXPECT_EQ(sim->vmstat().global(VmItem::PgdemoteFail), 0u);
+
+    // A locked page headed somewhere else is still a real failure.
+    EXPECT_FALSE(
+        sim->migratePage(pg, 1, sim::Simulator::ChargeMode::Inline));
+    EXPECT_EQ(sim->migrationEngine().failed(), 1u);
+    pg->setLocked(false);
+}
 
 // --- Differential: counters vs legacy scenario metrics --------------------
 
