@@ -77,6 +77,15 @@ class IntrusiveList
     {
         ListHook *h = hookOf(obj);
         MCLOCK_ASSERT(h->linked());
+#ifdef MCLOCK_DEBUG_VM
+        // __list_del_entry_valid: a stale or corrupted hook whose
+        // neighbours no longer point back would silently unlink an
+        // innocent bystander; catch it before touching the links.
+        MCLOCK_ASSERT(h->prev->next == h,
+                      "corrupted list: prev->next skips the entry");
+        MCLOCK_ASSERT(h->next->prev == h,
+                      "corrupted list: next->prev skips the entry");
+#endif
         h->prev->next = h->next;
         h->next->prev = h->prev;
         h->prev = nullptr;
@@ -168,6 +177,14 @@ class IntrusiveList
     static void
     insertAfter(ListHook *pos, ListHook *h)
     {
+#ifdef MCLOCK_DEBUG_VM
+        // __list_add_valid: inserting next to a corrupted position
+        // would graft the new entry into a broken chain.
+        MCLOCK_ASSERT(pos->next->prev == pos,
+                      "corrupted list: insertion position is stale");
+        MCLOCK_ASSERT(h != pos && h != pos->next,
+                      "list_add of an entry already at the position");
+#endif
         h->prev = pos;
         h->next = pos->next;
         pos->next->prev = h;

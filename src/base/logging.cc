@@ -30,6 +30,24 @@ format(const char *fmt, ...)
 }
 
 void
+assertFail(const char *file, int line, const char *expr,
+           const std::string &operands)
+{
+    panicImpl(file, line,
+              format("assertion failed: %s [values: %s]", expr,
+                     operands.c_str()));
+}
+
+void
+assertFail(const char *file, int line, const char *expr,
+           const std::string &operands, const std::string &msg)
+{
+    panicImpl(file, line,
+              format("assertion failed: %s [values: %s] — %s", expr,
+                     operands.c_str(), msg.c_str()));
+}
+
+void
 panicImpl(const char *file, int line, const std::string &msg)
 {
     std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);

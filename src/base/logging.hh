@@ -5,6 +5,16 @@
  *  - panic: an internal invariant was violated (a simulator bug); aborts.
  *  - fatal: the user asked for something impossible (bad config); exits.
  *  - warn/inform: status messages; never stop the simulation.
+ *
+ * MCLOCK_ASSERT is active in every build type (including the default
+ * RelWithDebInfo — it is never gated on NDEBUG): the simulator's
+ * invariants are cheap relative to simulation work, and a silent
+ * corruption would quietly skew every figure. On failure the assertion
+ * reports file:line, the failing expression, and — via a doctest-style
+ * expression decomposer — the values of the expression's operands, so
+ * `MCLOCK_ASSERT(used == resident)` dies with "values: 5 == 4" rather
+ * than just the spelling. The operand expression is re-evaluated on the
+ * failure path only; assertion conditions must stay side-effect-free.
  */
 
 #ifndef MCLOCK_BASE_LOGGING_HH_
@@ -12,7 +22,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 #include <string>
+#include <type_traits>
 
 namespace mclock {
 
@@ -25,6 +37,136 @@ void informImpl(const std::string &msg);
 
 /** printf-style formatting into a std::string. */
 std::string format(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void assertFail(const char *file, int line, const char *expr,
+                             const std::string &operands);
+[[noreturn]] void assertFail(const char *file, int line, const char *expr,
+                             const std::string &operands,
+                             const std::string &msg);
+
+// --- Assertion-operand stringification ----------------------------------
+
+template <typename T>
+concept Streamable = requires(std::ostream &os, const T &v) { os << v; };
+
+/** Render one assertion operand; falls back to "<?>" for opaque types. */
+template <typename T>
+std::string
+repr(const T &v)
+{
+    using D = std::decay_t<T>;
+    if constexpr (std::is_same_v<D, bool>) {
+        return v ? "true" : "false";
+    } else if constexpr (std::is_same_v<D, std::nullptr_t>) {
+        return "nullptr";
+    } else if constexpr (std::is_same_v<D, const char *> ||
+                         std::is_same_v<D, char *>) {
+        return v ? "\"" + std::string(v) + "\"" : "nullptr";
+    } else if constexpr (std::is_enum_v<D>) {
+        return std::to_string(
+            static_cast<std::underlying_type_t<D>>(v));
+    } else if constexpr (std::is_pointer_v<D>) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%p",
+                      static_cast<const void *>(v));
+        return buf;
+    } else if constexpr (std::is_same_v<D, std::string>) {
+        return "\"" + v + "\"";
+    } else if constexpr (Streamable<D>) {
+        std::ostringstream os;
+        os << v;
+        return os.str();
+    } else {
+        return "<?>";
+    }
+}
+
+template <typename L>
+struct ExprLhs;
+
+/** Rendered operand text of a decomposed assertion expression. */
+struct ExprInfo
+{
+    std::string text;
+
+    explicit ExprInfo(std::string t) : text(std::move(t)) {}
+    template <typename L>
+    ExprInfo(const ExprLhs<L> &l);  // single-value expression (no compare)
+
+    // Logical chains to the right of a captured comparison keep
+    // compiling; only the truth value of the tail is recorded.
+    template <typename R>
+    ExprInfo
+    operator&&(const R &r) const
+    {
+        return ExprInfo(text + " && " +
+                        (static_cast<bool>(r) ? "true" : "false"));
+    }
+
+    template <typename R>
+    ExprInfo
+    operator||(const R &r) const
+    {
+        return ExprInfo(text + " || " +
+                        (static_cast<bool>(r) ? "true" : "false"));
+    }
+};
+
+/**
+ * Captures the left operand of the assertion expression;
+ * `Decomposer() << a == b` parses as `(Decomposer() << a) == b`, so the
+ * comparison below sees both sides and can render their values.
+ */
+template <typename L>
+struct ExprLhs
+{
+    const L &lhs;
+
+#define MCLOCK_DETAIL_CMP_OP(op)                                        \
+    template <typename R>                                               \
+    ExprInfo operator op(const R &r) const                              \
+    {                                                                   \
+        return ExprInfo(repr(lhs) + " " #op " " + repr(r));             \
+    }
+    MCLOCK_DETAIL_CMP_OP(==)
+    MCLOCK_DETAIL_CMP_OP(!=)
+    MCLOCK_DETAIL_CMP_OP(<)
+    MCLOCK_DETAIL_CMP_OP(<=)
+    MCLOCK_DETAIL_CMP_OP(>)
+    MCLOCK_DETAIL_CMP_OP(>=)
+#undef MCLOCK_DETAIL_CMP_OP
+
+    template <typename R>
+    ExprInfo
+    operator&&(const R &r) const
+    {
+        return ExprInfo(repr(lhs) + " && " +
+                        (static_cast<bool>(r) ? "true" : "false"));
+    }
+
+    template <typename R>
+    ExprInfo
+    operator||(const R &r) const
+    {
+        return ExprInfo(repr(lhs) + " || " +
+                        (static_cast<bool>(r) ? "true" : "false"));
+    }
+};
+
+template <typename L>
+ExprInfo::ExprInfo(const ExprLhs<L> &l) : text(repr(l.lhs))
+{
+}
+
+struct Decomposer
+{
+    template <typename T>
+    ExprLhs<T>
+    operator<<(const T &v) const
+    {
+        return ExprLhs<T>{v};
+    }
+};
 
 }  // namespace detail
 
@@ -48,11 +190,22 @@ extern int logVerbosity;
             ::mclock::detail::informImpl(::mclock::detail::format(__VA_ARGS__)); \
     } while (0)
 
-/** Assert an internal invariant; active in all build types. */
+/**
+ * Assert an internal invariant; active in all build types (never gated
+ * on NDEBUG). Reports file:line, the expression, and its operand values;
+ * an optional printf-style message is appended. The condition is only
+ * re-evaluated for operand capture after it has already failed.
+ */
 #define MCLOCK_ASSERT(cond, ...) \
     do { \
-        if (!(cond)) \
-            MCLOCK_PANIC("assertion failed: %s", #cond); \
+        if (!(cond)) [[unlikely]] { \
+            ::mclock::detail::assertFail( \
+                __FILE__, __LINE__, #cond, \
+                ::mclock::detail::ExprInfo( \
+                    ::mclock::detail::Decomposer() << cond) \
+                    .text __VA_OPT__(, \
+                          ::mclock::detail::format(__VA_ARGS__))); \
+        } \
     } while (0)
 
 }  // namespace mclock

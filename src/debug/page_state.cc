@@ -1,0 +1,121 @@
+#include "debug/page_state.hh"
+
+namespace mclock {
+namespace debug {
+
+const char *
+reentryContextName(ReentryContext ctx)
+{
+    switch (ctx) {
+      case ReentryContext::Fresh: return "fresh";
+      case ReentryContext::Isolated: return "isolated";
+      case ReentryContext::PromoteArrival: return "promote-arrival";
+      case ReentryContext::DemoteArrival: return "demote-arrival";
+    }
+    return "?";
+}
+
+bool
+isAnonList(LruListKind kind)
+{
+    switch (kind) {
+      case LruListKind::InactiveAnon:
+      case LruListKind::ActiveAnon:
+      case LruListKind::PromoteAnon:
+        return true;
+      default:
+        return false;
+    }
+}
+
+namespace {
+
+/** Rung of the CLOCK ladder a list sits on, family-agnostic. */
+enum class Rung { Inactive, Active, Promote, Unevictable, None };
+
+Rung
+rungOf(LruListKind kind)
+{
+    switch (kind) {
+      case LruListKind::InactiveAnon:
+      case LruListKind::InactiveFile:
+        return Rung::Inactive;
+      case LruListKind::ActiveAnon:
+      case LruListKind::ActiveFile:
+        return Rung::Active;
+      case LruListKind::PromoteAnon:
+      case LruListKind::PromoteFile:
+        return Rung::Promote;
+      case LruListKind::Unevictable:
+        return Rung::Unevictable;
+      case LruListKind::None:
+      default:
+        return Rung::None;
+    }
+}
+
+bool
+sameFamily(LruListKind a, LruListKind b)
+{
+    return isAnonList(a) == isAnonList(b);
+}
+
+}  // namespace
+
+bool
+legalMoveEdge(LruListKind from, LruListKind to)
+{
+    // In-place moves never cross the anon/file boundary and never
+    // involve the unevictable list (mlock churn goes through
+    // remove+add, which the entry table covers).
+    if (from == LruListKind::None || to == LruListKind::None)
+        return false;
+    if (from == LruListKind::Unevictable || to == LruListKind::Unevictable)
+        return false;
+    if (!sameFamily(from, to))
+        return false;
+
+    const Rung f = rungOf(from);
+    const Rung t = rungOf(to);
+    // inactive -> active (reference promotion), active -> inactive
+    // (deactivation under pressure), active -> promote (kpromoted
+    // selection), promote -> active (cooling / shrink_promote).
+    return (f == Rung::Inactive && t == Rung::Active) ||
+           (f == Rung::Active && t == Rung::Inactive) ||
+           (f == Rung::Active && t == Rung::Promote) ||
+           (f == Rung::Promote && t == Rung::Active);
+}
+
+bool
+legalEntryEdge(ReentryContext ctx, LruListKind kind)
+{
+    if (kind == LruListKind::None)
+        return false;
+
+    switch (rungOf(kind)) {
+      case Rung::Unevictable:
+        // Only ever entered straight off the fault path.
+        return ctx == ReentryContext::Fresh;
+      case Rung::Inactive:
+        // Fault-in, demotion arrival, and failed-attempt restore all
+        // land on an inactive list.
+        return ctx == ReentryContext::Fresh ||
+               ctx == ReentryContext::Isolated ||
+               ctx == ReentryContext::DemoteArrival;
+      case Rung::Active:
+        // Promotion arrivals are hot by construction; a failed attempt
+        // may also restore a page that was isolated off an active list.
+        return ctx == ReentryContext::PromoteArrival ||
+               ctx == ReentryContext::Isolated;
+      case Rung::Promote:
+        // Promote lists are only entered via the active-scan moveTo
+        // edge, never by a direct add.
+        return false;
+      case Rung::None:
+      default:
+        return false;
+    }
+}
+
+}  // namespace debug
+}  // namespace mclock

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The Fig. 4 MULTI-CLOCK page state machine as an explicit table.
+ *
+ * A page is on exactly one LRU list at a time (inactive/active/promote
+ * x anon/file, or unevictable), or off-list (`LruListKind::None`) while
+ * isolated for migration or reclaim. This header encodes which list
+ * moves and which list (re-)entries are legal, so the MCLOCK_DEBUG_VM
+ * checker can reject everything else:
+ *
+ *  - in-place moves walk the CLOCK ladder within one anon/file family:
+ *    inactive -> active -> promote, promote cools back to active, and
+ *    pressure deactivates active -> inactive;
+ *  - a page arriving after a *promotion* enters the destination node's
+ *    active list (it was promoted because it is hot);
+ *  - a page arriving after a *demotion* resets to inactive;
+ *  - a freshly allocated or swapped-in page starts inactive (or
+ *    unevictable when pinned);
+ *  - a failed migration restores the page on its source node, on the
+ *    active or inactive list (never directly onto a promote list:
+ *    promote-list membership is only ever earned through the
+ *    active-list scan).
+ */
+
+#ifndef MCLOCK_DEBUG_PAGE_STATE_HH_
+#define MCLOCK_DEBUG_PAGE_STATE_HH_
+
+#include <cstdint>
+
+#include "vm/page.hh"
+
+namespace mclock {
+namespace debug {
+
+/**
+ * What kind of list entry the checker expects next for an off-list
+ * page, derived from why it went off-list (its "re-entry context").
+ */
+enum class ReentryContext : std::uint8_t {
+    Fresh,           ///< first add, or after eviction: fault-in path
+    Isolated,        ///< removed for a migration/reclaim attempt
+    PromoteArrival,  ///< a promotion committed; must arrive active
+    DemoteArrival,   ///< a demotion committed; must reset to inactive
+};
+
+/** Stable re-entry context name ("fresh", ...). */
+const char *reentryContextName(ReentryContext ctx);
+
+/** True when @p from -> @p to is a legal in-place (moveTo) edge. */
+bool legalMoveEdge(LruListKind from, LruListKind to);
+
+/** True when an off-list page in context @p ctx may enter @p kind. */
+bool legalEntryEdge(ReentryContext ctx, LruListKind kind);
+
+/** True when @p kind holds anonymous pages (promote/active/inactive). */
+bool isAnonList(LruListKind kind);
+
+}  // namespace debug
+}  // namespace mclock
+
+#endif  // MCLOCK_DEBUG_PAGE_STATE_HH_

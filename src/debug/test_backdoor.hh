@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Test-only corruption backdoor for the DEBUG_VM violation-injection
+ * tests. Each helper breaks exactly one invariant the VmChecker
+ * enforces, bypassing the NodeLists API the way a real bug would
+ * (scribbling on page state or list linkage directly). Nothing in
+ * src/ may include this header; it exists so tests/debug_vm_test.cc
+ * can prove every checker fires, not to be a convenience API.
+ */
+
+#ifndef MCLOCK_DEBUG_TEST_BACKDOOR_HH_
+#define MCLOCK_DEBUG_TEST_BACKDOOR_HH_
+
+#include "base/intrusive_list.hh"
+#include "vm/page.hh"
+
+namespace mclock {
+namespace debug {
+
+/** Deliberate invariant breakage for checker tests. */
+struct TestBackdoor
+{
+    /** Rewrite the list tag without touching any list (divergence). */
+    static void
+    corruptListTag(Page *page, LruListKind kind)
+    {
+        page->setList(kind);
+    }
+
+    /**
+     * Sever a page's linkage in place: its neighbours no longer point
+     * back at it, as after a racing erase. The list's size bookkeeping
+     * is left untouched, exactly like real corruption.
+     */
+    static void
+    severLinks(Page *page)
+    {
+        ListHook &h = page->lruHook;
+        if (h.prev)
+            h.prev->next = h.next;
+        if (h.next)
+            h.next->prev = h.prev;
+    }
+
+    /** Drop the frame placement while leaving list membership alone. */
+    static void
+    fakeUnplace(Page *page)
+    {
+        page->unplace();
+    }
+
+    /** Re-home the page's placement to another node, lists untouched. */
+    static void
+    fakePlacement(Page *page, NodeId node)
+    {
+        page->placeOn(node, page->paddr());
+    }
+};
+
+}  // namespace debug
+}  // namespace mclock
+
+#endif  // MCLOCK_DEBUG_TEST_BACKDOOR_HH_

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * MCLOCK_DEBUG_VM: the simulator's CONFIG_DEBUG_VM analogue.
+ *
+ * The VmChecker validates every page-state transition against the
+ * Fig. 4 table (debug/page_state.hh) as it happens: NodeLists calls in
+ * for every list add/remove/move/rotation, the MigrationEngine for
+ * every transaction phase and commit, and the Simulator for evictions
+ * and page teardown. Each page also has a *shadow* record keyed by its
+ * address — an independent copy of where the checker believes the page
+ * is — so out-of-band corruption (someone scribbling on the list tag
+ * without going through NodeLists) is caught as ShadowDivergence even
+ * though every individual list call looked legal.
+ *
+ * A violation calls the installed handler; the default handler dumps
+ * the page's recent state history (from the checker's private ring,
+ * plus the simulator's tracepoint ring when bound) and panics. Tests
+ * install a collecting handler instead and assert on violation codes.
+ *
+ * The checker charges no simulated time and records nothing into the
+ * shared TraceBuffer, so enabling it leaves golden outputs
+ * byte-identical. The whole subsystem is compiled only under
+ * MCLOCK_DEBUG_VM; release builds contain no trace of it.
+ */
+
+#ifndef MCLOCK_DEBUG_VM_CHECKER_HH_
+#define MCLOCK_DEBUG_VM_CHECKER_HH_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/intrusive_list.hh"
+#include "base/types.hh"
+#include "debug/page_state.hh"
+#include "sim/fault_injector.hh"
+#include "stats/tracepoint.hh"
+#include "vm/page.hh"
+
+namespace mclock {
+namespace debug {
+
+/** Invariant classes the checker enforces (one test each). */
+enum class ViolationCode : std::uint8_t {
+    DoubleAdd,          ///< add() of a page already on a list
+    RemoveOffList,      ///< remove()/rotate of an off-list page
+    IllegalTransition,  ///< list move off the Fig. 4 edge table
+    BadReentry,         ///< entry into a list the context forbids
+    FamilyMismatch,     ///< anon page on a file list or vice versa
+    FlagMismatch,       ///< list membership contradicts page flags
+    NodeMismatch,       ///< on node A's lists, resident on node B
+    NonResidentOnList,  ///< on an LRU list without a frame
+    ShadowDivergence,   ///< page tag disagrees with the shadow record
+    PoisonedPromote,    ///< poisoned page committed an upward migration
+    LockedRemap,        ///< remap phase reached with the page locked
+    ListCorruption,     ///< intrusive-list linkage broken
+    NumCodes
+};
+
+/** Stable violation name ("double_add", ...). */
+const char *violationName(ViolationCode code);
+
+/** One detected invariant violation. */
+struct Violation
+{
+    ViolationCode code = ViolationCode::NumCodes;
+    const Page *page = nullptr;  ///< may be null (list-level corruption)
+    PageNum vpn = 0;
+    NodeId node = kInvalidNode;
+    std::string detail;
+};
+
+/** Per-page state history entry (checker-private, not the sim trace). */
+struct StateHistoryEntry
+{
+    const Page *page = nullptr;
+    PageNum vpn = 0;
+    NodeId node = kInvalidNode;
+    LruListKind from = LruListKind::None;
+    LruListKind to = LruListKind::None;
+    const char *op = "";  ///< "add", "remove", "move", ...
+};
+
+/** The CONFIG_DEBUG_VM page-state-machine checker. */
+class VmChecker
+{
+  public:
+    using PageList = IntrusiveList<Page, &Page::lruHook>;
+    using Handler = std::function<void(const Violation &)>;
+
+    explicit VmChecker(std::size_t historyCapacity = 256);
+
+    /** Replace the default panic-with-dump handler (tests collect). */
+    void setHandler(Handler handler);
+
+    /** Bind the sim trace ring consulted by the violation dump. */
+    void bindTrace(const stats::TraceBuffer *trace) { trace_ = trace; }
+
+    /** Bind the fault oracle consulted for poisoned-page checks. */
+    void bindFaults(const sim::FaultInjector *faults) { faults_ = faults; }
+
+    // --- NodeLists hooks (called before the mutation) --------------------
+    void onListAdd(const Page *page, LruListKind kind, NodeId node);
+    void onListRemove(const Page *page, NodeId node);
+    void onListMove(const Page *page, LruListKind to, NodeId node);
+    void onListRotate(const Page *page, NodeId node);
+
+    // --- MigrationEngine hooks -------------------------------------------
+    /** A commit-path transaction phase is about to execute. */
+    void onMigrationPhase(const Page *page, sim::FaultPhase phase,
+                          NodeId dst);
+
+    /** A single-page migration committed (tiers are pre-move ranks). */
+    void onMigrationCommit(const Page *page, TierRank srcTier,
+                           TierRank dstTier);
+
+    /** A two-sided exchange committed (tiers are pre-swap ranks). */
+    void onExchangeCommit(const Page *a, TierRank aTier, const Page *b,
+                          TierRank bTier);
+
+    // --- Lifecycle hooks (called by the Simulator) -----------------------
+    /** Page evicted to storage: off-list, next entry is a fresh add. */
+    void onEvict(const Page *page);
+
+    /** Page destroyed (munmap): forget it — the address may recycle. */
+    void onPageDestroyed(const Page *page);
+
+    // --- Sweep validation (harness integration) --------------------------
+    /**
+     * Walk one LRU list, validating linkage (lockdep-style: every
+     * node's neighbours must point back at it), per-page placement, and
+     * shadow agreement. Violations go to @p sink when non-null,
+     * otherwise to the handler.
+     */
+    void validateList(const PageList &list, LruListKind kind, NodeId node,
+                      std::vector<Violation> *sink = nullptr);
+
+    // --- Introspection ---------------------------------------------------
+    std::uint64_t checksRun() const { return checksRun_; }
+    std::uint64_t violationCount() const { return violations_; }
+
+    /** Recent history entries touching @p page (oldest first). */
+    std::vector<StateHistoryEntry> historyFor(const Page *page) const;
+
+    /** Render the violation dump the default handler prints. */
+    std::string formatDump(const Violation &v) const;
+
+  private:
+    /** Independent belief about one page's whereabouts. */
+    struct Shadow
+    {
+        LruListKind list = LruListKind::None;
+        NodeId node = kInvalidNode;
+        ReentryContext ctx = ReentryContext::Fresh;
+    };
+
+    Shadow &shadowOf(const Page *page) { return shadow_[page]; }
+
+    void report(ViolationCode code, const Page *page, NodeId node,
+                std::string detail, std::vector<Violation> *sink = nullptr);
+
+    void recordHistory(const Page *page, NodeId node, LruListKind from,
+                       LruListKind to, const char *op);
+
+    /** Placement checks shared by add and move destinations. */
+    void checkPlacement(const Page *page, LruListKind kind, NodeId node,
+                        std::vector<Violation> *sink = nullptr);
+
+    /** Shadow-vs-page agreement; reports ShadowDivergence. */
+    void checkShadow(const Page *page, NodeId node);
+
+    Handler handler_;
+    const stats::TraceBuffer *trace_ = nullptr;
+    const sim::FaultInjector *faults_ = nullptr;
+    std::unordered_map<const Page *, Shadow> shadow_;
+    std::vector<StateHistoryEntry> history_;  ///< overwriting ring
+    std::size_t historyCapacity_;
+    std::size_t historyHead_ = 0;
+    std::uint64_t historyRecorded_ = 0;
+    std::uint64_t checksRun_ = 0;
+    std::uint64_t violations_ = 0;
+};
+
+}  // namespace debug
+}  // namespace mclock
+
+#endif  // MCLOCK_DEBUG_VM_CHECKER_HH_

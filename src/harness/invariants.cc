@@ -13,6 +13,10 @@
 #include "vm/address_space.hh"
 #include "vm/page.hh"
 
+#ifdef MCLOCK_DEBUG_VM
+#include "debug/vm_checker.hh"
+#endif
+
 namespace mclock {
 namespace harness {
 
@@ -121,6 +125,25 @@ collectViolations(sim::Simulator &sim)
             }
         }
     });
+
+#ifdef MCLOCK_DEBUG_VM
+    // Debug builds add the lockdep-style sweep: linkage validity and
+    // shadow-state agreement on every list of every node.
+    auto &checker = sim.vmChecker();
+    mem.forEachNode([&](sim::Node &node) {
+        for (int k = 1; k < kNumLruLists; ++k) {
+            const auto kind = static_cast<LruListKind>(k);
+            std::vector<debug::Violation> found;
+            checker.validateList(node.lists().list(kind), kind,
+                                 node.id(), &found);
+            for (const auto &v : found) {
+                violation(out, "debug_vm %s: %s",
+                          debug::violationName(v.code),
+                          v.detail.c_str());
+            }
+        }
+    });
+#endif
 
     // A resident page sits on exactly one list; isolated (mid-migration)
     // pages never survive to a quiescent point.

@@ -2,6 +2,19 @@
 
 #include "base/logging.hh"
 
+#ifdef MCLOCK_DEBUG_VM
+#include "debug/vm_checker.hh"
+#define MCLOCK_VM_HOOK(call) \
+    do { \
+        if (checker_) \
+            checker_->call; \
+    } while (0)
+#else
+#define MCLOCK_VM_HOOK(call) \
+    do { \
+    } while (0)
+#endif
+
 namespace mclock {
 namespace pfra {
 
@@ -10,6 +23,7 @@ NodeLists::add(Page *page, LruListKind kind, bool toFront)
 {
     MCLOCK_ASSERT(kind != LruListKind::None);
     MCLOCK_ASSERT(page->list() == LruListKind::None);
+    MCLOCK_VM_HOOK(onListAdd(page, kind, node_));
     if (toFront)
         list(kind).pushFront(page);
     else
@@ -21,6 +35,7 @@ void
 NodeLists::remove(Page *page)
 {
     MCLOCK_ASSERT(page->list() != LruListKind::None);
+    MCLOCK_VM_HOOK(onListRemove(page, node_));
     list(page->list()).erase(page);
     page->setList(LruListKind::None);
 }
@@ -28,8 +43,10 @@ NodeLists::remove(Page *page)
 void
 NodeLists::moveTo(Page *page, LruListKind kind, bool toFront)
 {
+    const LruListKind from = page->list();
+    MCLOCK_ASSERT(from != LruListKind::None);
+    MCLOCK_ASSERT(kind != LruListKind::None);
     if (vmstat_) {
-        const LruListKind from = page->list();
         if (isInactiveList(from) && isActiveList(kind))
             vmstat_->add(stats::VmItem::Pgactivate, node_);
         else if (isActiveList(from) && isInactiveList(kind))
@@ -37,8 +54,17 @@ NodeLists::moveTo(Page *page, LruListKind kind, bool toFront)
         else if (isPromoteList(kind) && !isPromoteList(from))
             vmstat_->add(stats::VmItem::PgpromoteSelected, node_);
     }
-    remove(page);
-    add(page, kind, toFront);
+    // One in-place transition, not a remove+add pair: the page never
+    // goes through the off-list state, and the DEBUG_VM checker
+    // validates it against the move-edge table (an isolation round
+    // trip would wrongly legalise e.g. direct promote-list entry).
+    MCLOCK_VM_HOOK(onListMove(page, kind, node_));
+    list(from).erase(page);
+    if (toFront)
+        list(kind).pushFront(page);
+    else
+        list(kind).pushBack(page);
+    page->setList(kind);
 }
 
 void
@@ -46,6 +72,7 @@ NodeLists::rotateToFront(Page *page)
 {
     const LruListKind kind = page->list();
     MCLOCK_ASSERT(kind != LruListKind::None);
+    MCLOCK_VM_HOOK(onListRotate(page, node_));
     list(kind).erase(page);
     list(kind).pushFront(page);
     if (vmstat_)

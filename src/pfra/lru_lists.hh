@@ -20,6 +20,13 @@
 #include "vm/page.hh"
 
 namespace mclock {
+
+#ifdef MCLOCK_DEBUG_VM
+namespace debug {
+class VmChecker;
+}  // namespace debug
+#endif
+
 namespace pfra {
 
 /** The set of LRU lists belonging to one NUMA node. */
@@ -102,6 +109,17 @@ class NodeLists
             vmstat_->add(item, node_, delta);
     }
 
+#ifdef MCLOCK_DEBUG_VM
+    /**
+     * Attach the DEBUG_VM checker; every list mutation is then
+     * validated against the Fig. 4 state machine. Debug builds only —
+     * the member and the hook calls compile out entirely otherwise.
+     */
+    void attachChecker(debug::VmChecker *checker) { checker_ = checker; }
+
+    debug::VmChecker *checker() const { return checker_; }
+#endif
+
     static LruListKind
     inactiveKind(bool anon)
     {
@@ -127,6 +145,9 @@ class NodeLists
     stats::VmStat *vmstat_ = nullptr;
     stats::TraceBuffer *trace_ = nullptr;
     NodeId node_ = kInvalidNode;
+#ifdef MCLOCK_DEBUG_VM
+    debug::VmChecker *checker_ = nullptr;
+#endif
 };
 
 }  // namespace pfra

@@ -5,6 +5,19 @@
 #include "sim/memory_system.hh"
 #include "vm/page.hh"
 
+#ifdef MCLOCK_DEBUG_VM
+#include "debug/vm_checker.hh"
+#define MCLOCK_VM_HOOK(call) \
+    do { \
+        if (checker_) \
+            checker_->call; \
+    } while (0)
+#else
+#define MCLOCK_VM_HOOK(call) \
+    do { \
+    } while (0)
+#endif
+
 namespace mclock {
 namespace sim {
 
@@ -77,12 +90,16 @@ MigrationEngine::migrate(Page *page, NodeId dst, SimTime &cost)
     }
 
     // Commit: copy, shoot down, remap.
+    MCLOCK_VM_HOOK(onMigrationPhase(page, FaultPhase::Copy, dst));
+    MCLOCK_VM_HOOK(onMigrationPhase(page, FaultPhase::Shootdown, dst));
+    MCLOCK_VM_HOOK(onMigrationPhase(page, FaultPhase::Remap, dst));
     const Paddr oldPaddr = page->paddr();
     cost = fullCost;
     if (llc_)
         llc_->invalidatePage(oldPaddr);
     src.freeFrame(oldPaddr);
     page->placeOn(dst, newPaddr);
+    MCLOCK_VM_HOOK(onMigrationCommit(page, src.tier(), dstNode.tier()));
     // Migration transfers contents; the new frame starts clean wrt the
     // PTE dirty bit but the page remains logically dirty if it was.
     page->setPteDirty(false);
@@ -130,6 +147,12 @@ MigrationEngine::exchange(Page *a, Page *b, SimTime &cost)
         return {MigrateOutcome::Aborted, fd.failPhase, fd.persistent};
     }
 
+    MCLOCK_VM_HOOK(onMigrationPhase(a, FaultPhase::Copy, nb.id()));
+    MCLOCK_VM_HOOK(onMigrationPhase(b, FaultPhase::Copy, na.id()));
+    MCLOCK_VM_HOOK(onMigrationPhase(a, FaultPhase::Shootdown, nb.id()));
+    MCLOCK_VM_HOOK(onMigrationPhase(b, FaultPhase::Shootdown, na.id()));
+    MCLOCK_VM_HOOK(onMigrationPhase(a, FaultPhase::Remap, nb.id()));
+    MCLOCK_VM_HOOK(onMigrationPhase(b, FaultPhase::Remap, na.id()));
     const Paddr pa = a->paddr();
     const Paddr pb = b->paddr();
     if (llc_) {
@@ -138,6 +161,7 @@ MigrationEngine::exchange(Page *a, Page *b, SimTime &cost)
     }
     a->placeOn(nb.id(), pb);
     b->placeOn(na.id(), pa);
+    MCLOCK_VM_HOOK(onExchangeCommit(a, na.tier(), b, nb.tier()));
     a->setPteDirty(false);
     b->setPteDirty(false);
     cost = fullCost;

@@ -32,6 +32,12 @@ namespace mclock {
 class CacheModel;
 class Page;
 
+#ifdef MCLOCK_DEBUG_VM
+namespace debug {
+class VmChecker;
+}  // namespace debug
+#endif
+
 namespace sim {
 
 class MemorySystem;
@@ -106,6 +112,16 @@ class MigrationEngine
     /** Aborts after the copy completed (state had to be rolled back). */
     std::uint64_t rollbacks() const { return rollbacks_; }
 
+#ifdef MCLOCK_DEBUG_VM
+    /**
+     * Attach the DEBUG_VM checker: each committing transaction then
+     * reports its copy/shootdown/remap phases and its commit (with the
+     * pre-move tier ranks) for isolation, locked-remap, and
+     * poisoned-promote validation.
+     */
+    void setChecker(debug::VmChecker *checker) { checker_ = checker; }
+#endif
+
   private:
     /** Injector verdict for the next transaction (None when absent). */
     FaultDecision decideFault(const Page *keyPage, TierRank dstTier);
@@ -117,6 +133,9 @@ class MigrationEngine
     const MemoryConfig &cfg_;
     CacheModel *llc_;      ///< may be null (cache model disabled)
     FaultInjector *faults_;  ///< may be null (no injection)
+#ifdef MCLOCK_DEBUG_VM
+    debug::VmChecker *checker_ = nullptr;
+#endif
     std::uint64_t migrations_ = 0;
     std::uint64_t promotions_ = 0;
     std::uint64_t demotions_ = 0;

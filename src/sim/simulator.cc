@@ -30,6 +30,15 @@ Simulator::Simulator(MachineConfig cfg)
     mem_.forEachNode([this](Node &node) {
         node.lists().attachStats(&vmstat_, &trace_, node.id());
     });
+#ifdef MCLOCK_DEBUG_VM
+    vmChecker_ = std::make_unique<debug::VmChecker>();
+    vmChecker_->bindTrace(&trace_);
+    vmChecker_->bindFaults(&faults_);
+    mem_.forEachNode([this](Node &node) {
+        node.lists().attachChecker(vmChecker_.get());
+    });
+    migration_.setChecker(vmChecker_.get());
+#endif
     if (cfg_.stats.sampler) {
         sampler_ = std::make_unique<stats::VmstatSampler>(vmstat_);
         // The sampler body charges no time and mutates no simulator
@@ -79,6 +88,9 @@ Simulator::unmapRegion(Vaddr start)
             // freed without any device read happening.
             swap_.releaseSlot(pg);
         }
+#ifdef MCLOCK_DEBUG_VM
+        vmChecker_->onPageDestroyed(pg);
+#endif
         space_.destroyPage(vpn);
     }
     space_.munmap(start);
@@ -405,6 +417,9 @@ Simulator::evictPage(Page *page)
 {
     MCLOCK_ASSERT(!page->onLru());
     MCLOCK_ASSERT(page->resident());
+#ifdef MCLOCK_DEBUG_VM
+    vmChecker_->onEvict(page);
+#endif
     if (!page->isAnon() || swap_.hasSpace()) {
         // Kernel semantics: pswpout counts swap-area writes, i.e.
         // anonymous pages only; a file-backed page is written back to

@@ -35,6 +35,10 @@
 #include "vm/address_space.hh"
 #include "vm/swap.hh"
 
+#ifdef MCLOCK_DEBUG_VM
+#include "debug/vm_checker.hh"
+#endif
+
 namespace mclock {
 namespace sim {
 
@@ -177,6 +181,16 @@ class Simulator
     FaultInjector &faultInjector() { return faults_; }
     const FaultInjector &faultInjector() const { return faults_; }
 
+#ifdef MCLOCK_DEBUG_VM
+    /**
+     * The CONFIG_DEBUG_VM page-state checker, wired into every list
+     * and migration path of this host. Debug builds only; by default a
+     * violation panics with the page's state history.
+     */
+    debug::VmChecker &vmChecker() { return *vmChecker_; }
+    const debug::VmChecker &vmChecker() const { return *vmChecker_; }
+#endif
+
   private:
     void chargeMigration(SimTime cost, ChargeMode mode,
                          SimTime inlinePortion = 0);
@@ -193,6 +207,9 @@ class Simulator
 
     MachineConfig cfg_;
     MemorySystem mem_;
+#ifdef MCLOCK_DEBUG_VM
+    std::unique_ptr<debug::VmChecker> vmChecker_;
+#endif
     std::unique_ptr<CacheModel> llc_;
     FaultInjector faults_;
     MigrationEngine migration_;

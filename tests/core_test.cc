@@ -59,6 +59,22 @@ class MultiClockTest : public ::testing::Test
             pg, pfra::NodeLists::inactiveKind(pg->isAnon()));
     }
 
+    /**
+     * Walk a page onto its node's promote list along the legal Fig. 4
+     * path (inactive -> active -> promote, PagePromote set before the
+     * final move). The DEBUG_VM checker rejects shortcut entry into
+     * the promote list, exactly as mark_page_accessed would never do
+     * it in one step.
+     */
+    void
+    moveToPromote(Page *pg)
+    {
+        auto &lists = sim_->memory().node(pg->node()).lists();
+        lists.moveTo(pg, pfra::NodeLists::activeKind(pg->isAnon()));
+        pg->setPromoteFlag(true);
+        lists.moveTo(pg, pfra::NodeLists::promoteKind(pg->isAnon()));
+    }
+
     sim::Node &dram() { return sim_->memory().node(0); }
     sim::Node &pmem() { return sim_->memory().node(1); }
 
@@ -153,8 +169,7 @@ TEST_F(MultiClockTest, Transition11PromoteCoolsToActive)
 {
     Page *pg = touchNewPage();
     moveToPmem(pg);
-    pmem().lists().moveTo(pg, pfra::NodeLists::promoteKind(true));
-    pg->setPromoteFlag(true);
+    moveToPromote(pg);
     // Not referenced since selection: recycled to active unreferenced.
     auto kp = kpromotedFor(1);
     const auto promoted = kp.shrinkPromoteList(pmem(), true, 64, false);
@@ -168,8 +183,7 @@ TEST_F(MultiClockTest, Transition13PromoteMigratesToDram)
 {
     Page *pg = touchNewPage();
     moveToPmem(pg);
-    pmem().lists().moveTo(pg, pfra::NodeLists::promoteKind(true));
-    pg->setPromoteFlag(true);
+    moveToPromote(pg);
     pg->setReferenced(true);  // still hot
     auto kp = kpromotedFor(1);
     const auto promoted = kp.shrinkPromoteList(pmem(), true, 64, false);
@@ -183,8 +197,7 @@ TEST_F(MultiClockTest, Transition13PromoteMigratesToDram)
 TEST_F(MultiClockTest, PromoteOnTopTierRecyclesToActive)
 {
     Page *pg = touchNewPage();  // in DRAM
-    dram().lists().moveTo(pg, pfra::NodeLists::promoteKind(true));
-    pg->setPromoteFlag(true);
+    moveToPromote(pg);
     pg->setReferenced(true);
     auto kp = kpromotedFor(0);
     const auto promoted = kp.shrinkPromoteList(dram(), true, 64, false);
@@ -196,8 +209,7 @@ TEST_F(MultiClockTest, LockedPromotePageFallsBackToActive)
 {
     Page *pg = touchNewPage();
     moveToPmem(pg);
-    pmem().lists().moveTo(pg, pfra::NodeLists::promoteKind(true));
-    pg->setPromoteFlag(true);
+    moveToPromote(pg);
     pg->setReferenced(true);
     pg->setLocked(true);
     auto kp = kpromotedFor(1);
@@ -316,8 +328,7 @@ TEST_F(MultiClockTest, PressureStep1DrainsPromoteList)
 {
     Page *pg = touchNewPage();
     moveToPmem(pg);
-    pmem().lists().moveTo(pg, pfra::NodeLists::promoteKind(true));
-    pg->setPromoteFlag(true);
+    moveToPromote(pg);
     policy_->handlePressure(pmem());
     // Promote-list pages migrate up under pressure even if unreferenced.
     EXPECT_EQ(sim_->pageTier(pg), TierKind::Dram);
@@ -381,10 +392,14 @@ TEST_F(MultiClockTest, PromoteBudgetCapsMigrationsPerWake)
         mem.node(pg->node()).lists().remove(pg);
         ASSERT_TRUE(sim.demotePage(
             pg, sim::Simulator::ChargeMode::Background));
-        pg->setPromoteFlag(true);
         pg->setReferenced(true);
         pg->setPteReferenced(false);
-        pmem.lists().add(pg, pfra::NodeLists::promoteKind(true));
+        // A demoted page re-enters on inactive; walk it up the legal
+        // Fig. 4 path to the promote list.
+        pmem.lists().add(pg, pfra::NodeLists::inactiveKind(true));
+        pmem.lists().moveTo(pg, pfra::NodeLists::activeKind(true));
+        pg->setPromoteFlag(true);
+        pmem.lists().moveTo(pg, pfra::NodeLists::promoteKind(true));
     });
     ASSERT_EQ(pmem.lists().promoteSize(true), 16u);
     const auto before = sim.metrics().totalPromotions();
@@ -416,8 +431,7 @@ TEST_F(MultiClockTest, DemoteForPromoteBackpressureOnWarmDram)
             hot = pg;
     });
     ASSERT_NE(hot, nullptr);
-    pmem().lists().moveTo(hot, pfra::NodeLists::promoteKind(true));
-    hot->setPromoteFlag(true);
+    moveToPromote(hot);
     hot->setReferenced(true);
 
     const auto demotionsBefore = sim_->metrics().totalDemotions();

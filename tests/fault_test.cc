@@ -16,6 +16,7 @@
 #include "base/units.hh"
 #include "harness/golden.hh"
 #include "harness/runner.hh"
+#include "pfra/lru_lists.hh"
 #include "policies/static_tiering.hh"
 #include "sim/fault_injector.hh"
 #include "sim/machine.hh"
@@ -199,6 +200,19 @@ isolatedPmPages(sim::Simulator &sim, std::size_t want)
     return out;
 }
 
+/**
+ * Re-enqueue a freshly promoted page the way kpromoted does: promoted
+ * pages arrive hot on the destination node's *active* list (Fig. 4),
+ * never the inactive one.
+ */
+void
+enqueuePromoted(sim::Simulator &sim, Page *pg)
+{
+    pg->setActive(true);
+    sim.memory().node(pg->node()).lists().add(
+        pg, pfra::NodeLists::activeKind(pg->isAnon()));
+}
+
 TEST(TransactionalMigration, AbortRollsBackCleanly)
 {
     FaultConfig faults;
@@ -273,7 +287,7 @@ TEST(TransactionalMigration, RetryRecoversTransientAborts)
                              sim::Simulator::ChargeMode::Background)) {
             ++promoted;
             // Return to a list so invariants hold if extended later.
-            sim->policy().onPageAllocated(pg);
+            enqueuePromoted(*sim, pg);
         }
     }
     // At 50% per-transaction failure with 4 retries nearly every
@@ -351,7 +365,7 @@ TEST(TransactionalMigration, SuccessResetsTheThrottleStreak)
     ASSERT_GE(pages.size(), 2u);
     EXPECT_TRUE(sim->promotePage(
         pages[0], sim::Simulator::ChargeMode::Background));
-    sim->policy().onPageAllocated(pages[0]);
+    enqueuePromoted(*sim, pages[0]);
     EXPECT_FALSE(sim->promotionThrottled(1));
     EXPECT_EQ(sim->vmstat().global(VmItem::PgpromoteThrottled), 0u);
 }
@@ -378,7 +392,7 @@ TEST(TransactionalMigration, PromotionSuccessMonotoneInFailureRate)
         for (Page *pg : pages) {
             if (sim->promotePage(pg,
                                  sim::Simulator::ChargeMode::Background))
-                sim->policy().onPageAllocated(pg);
+                enqueuePromoted(*sim, pg);
         }
         successes.push_back(sim->metrics().totalPromotions());
     }

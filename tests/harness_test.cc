@@ -216,6 +216,31 @@ TEST(RunnerDeterminism, MultiScenarioRunMatchesAnyJobCount)
     }
 }
 
+/**
+ * Thread-pool churn regression: repeated pool construction/teardown
+ * and an oversubscribed worker count (far more workers than units)
+ * exercise the submit/drain/shutdown windows of the runner's
+ * ThreadPool under maximal interleaving pressure. The functional
+ * assertion is bit-identical output; under the tsan preset this test
+ * is also the data-race regression net for the --jobs harness and the
+ * per-unit stats aggregation it feeds.
+ */
+TEST(RunnerDeterminism, RepeatedPoolChurnIsRaceFreeAndDeterministic)
+{
+    const auto ctx = smallContext();
+    std::vector<const Scenario *> selected{findScenario("fig02"),
+                                           findScenario("faultinj_ycsb_a")};
+    const auto baseline = runScenarios(selected, quietOptions(1, ctx));
+    for (const unsigned jobs : {2u, 8u, 32u}) {
+        const auto rerun = runScenarios(selected, quietOptions(jobs, ctx));
+        ASSERT_EQ(baseline.results.size(), rerun.results.size());
+        for (std::size_t i = 0; i < baseline.results.size(); ++i) {
+            expectIdentical(baseline.results[i].output,
+                            rerun.results[i].output);
+        }
+    }
+}
+
 TEST(RunnerDeterminism, DifferentSeedsChangeYcsbResults)
 {
     auto ctx = smallContext();
