@@ -10,14 +10,18 @@
  *   mclock_bench --golden --filter ablation
  *   mclock_bench --update-golden          # regenerate tests/golden/
  *   mclock_bench --check-golden           # what golden_test runs
+ *   mclock_bench --bench --repeat 3       # wall-clock benchmark mode
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "harness/benchmark.hh"
 #include "harness/golden.hh"
 #include "harness/runner.hh"
 
@@ -61,7 +65,23 @@ usage(const char *prog)
         "  --check-golden    run golden scenarios, compare with "
         "fixtures\n"
         "  --update-golden   regenerate fixtures (review the diff!)\n"
-        "  --golden-dir DIR  fixture directory (default: %s)\n",
+        "  --golden-dir DIR  fixture directory (default: %s)\n"
+        "\n"
+        "wall-clock benchmarking:\n"
+        "  --bench           benchmark the selected scenarios: run "
+        "each\n"
+        "                    --repeat times (after --warmup discarded\n"
+        "                    runs), report host ops/sec and simulated\n"
+        "                    accesses/sec, write --bench-out\n"
+        "  --repeat N        measured repeats per scenario (default "
+        "3)\n"
+        "  --warmup K        discarded warmup runs per scenario "
+        "(default 1)\n"
+        "  --bench-out FILE  report path (default <out>/BENCH_7.json)"
+        "\n"
+        "  --bench-baseline FILE\n"
+        "                    recorded baseline to embed and compute\n"
+        "                    speedup_vs_baseline against\n",
         prog, static_cast<unsigned long long>(kDefaultSeed),
         defaultGoldenDir().c_str());
 }
@@ -177,10 +197,11 @@ int
 main(int argc, char **argv)
 {
     bool list = false, golden = false, manifest = true, quiet = false;
-    bool updateGolden = false, checkGolden = false;
+    bool updateGolden = false, checkGolden = false, bench = false;
     std::string filter, outDir = ".";
     std::string goldenDir = defaultGoldenDir();
-    unsigned jobs = 1;
+    std::string benchOut, benchBaseline;
+    unsigned jobs = 1, repeat = 3, warmup = 1;
     RunContext ctx;
 
     for (int i = 1; i < argc; ++i) {
@@ -226,6 +247,22 @@ main(int argc, char **argv)
             checkGolden = true;
         } else if (arg == "--golden-dir") {
             goldenDir = operand("--golden-dir");
+        } else if (arg == "--bench") {
+            bench = true;
+        } else if (arg == "--repeat") {
+            repeat = static_cast<unsigned>(
+                std::strtoul(operand("--repeat"), nullptr, 10));
+            if (repeat == 0) {
+                std::fprintf(stderr, "--repeat must be >= 1\n");
+                return 2;
+            }
+        } else if (arg == "--warmup") {
+            warmup = static_cast<unsigned>(
+                std::strtoul(operand("--warmup"), nullptr, 10));
+        } else if (arg == "--bench-out") {
+            benchOut = operand("--bench-out");
+        } else if (arg == "--bench-baseline") {
+            benchBaseline = operand("--bench-baseline");
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -248,6 +285,60 @@ main(int argc, char **argv)
         std::fprintf(stderr, "no scenario matches '%s' (see --list)\n",
                      filter.c_str());
         return 1;
+    }
+
+    if (bench) {
+        BenchOptions bo;
+        bo.repeat = repeat;
+        bo.warmup = warmup;
+        bo.jobs = jobs;
+        bo.baselinePath = benchBaseline;
+        bo.context = ctx;
+        bo.context.golden = golden;
+
+        const BenchReport report = runBenchmark(selected, bo);
+        const Json doc = benchReportToJson(report, bo);
+
+        if (benchOut.empty()) {
+            benchOut = (std::filesystem::path(outDir) / "BENCH_7.json")
+                           .string();
+        }
+        std::error_code ec;
+        std::filesystem::create_directories(
+            std::filesystem::path(benchOut).parent_path(), ec);
+        std::ofstream f(benchOut);
+        if (!f) {
+            std::fprintf(stderr, "cannot write bench report '%s'\n",
+                         benchOut.c_str());
+            return 1;
+        }
+        f << doc.dump(2) << "\n";
+
+        if (!quiet) {
+            std::printf("%-24s %10s %14s %14s\n", "scenario", "best_s",
+                        "ops/sec", "accesses/sec");
+            for (const auto &s : report.scenarios) {
+                const double best = s.bestSeconds();
+                std::printf("%-24s %10.3f %14.0f %14.0f\n",
+                            s.name.c_str(), best,
+                            best > 0 ? static_cast<double>(s.appOps) /
+                                           best
+                                     : 0.0,
+                            best > 0
+                                ? static_cast<double>(s.simAccesses) /
+                                      best
+                                : 0.0);
+            }
+            std::printf("\nsuite: %zu scenario(s), %.2fs best-total",
+                        report.scenarios.size(),
+                        report.totalBestSeconds());
+            if (doc.contains("speedup_vs_baseline")) {
+                std::printf(", %.2fx vs baseline",
+                            doc["speedup_vs_baseline"].asNumber());
+            }
+            std::printf("\nwrote %s\n", benchOut.c_str());
+        }
+        return report.clean() ? 0 : 1;
     }
 
     RunnerOptions opts;

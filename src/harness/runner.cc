@@ -153,6 +153,10 @@ runScenarios(const std::vector<const Scenario *> &scenarios,
         ScenarioResult result;
         result.name = e.scenario->name;
         result.units = e.units.size();
+        for (const auto &rec : e.records) {
+            result.appOps += rec.perfAppOps;
+            result.simAccesses += rec.perfSimAccesses;
+        }
         result.output = e.scenario->reduce(opts.context, e.records);
         result.wallSeconds = secondsSince(e.start);
         if (!opts.quiet) {

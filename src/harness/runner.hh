@@ -39,6 +39,9 @@ struct ScenarioResult
     ScenarioOutput output;
     double wallSeconds = 0.0;   ///< host time spent in this scenario
     std::size_t units = 0;
+    /** Unit perf counters summed (see RunRecord; not golden-compared). */
+    std::uint64_t appOps = 0;
+    std::uint64_t simAccesses = 0;
 };
 
 /** Whole-run outcome. */

@@ -117,6 +117,16 @@ struct RunRecord
 
     /** Periodic vmstat time series as CSV (stats mode only). */
     std::string samplerCsv;
+
+    /**
+     * Work counters for wall-clock benchmarking: application memory
+     * operations issued and memory-visible accesses completed by this
+     * unit's simulator(s) (summed when a unit runs several hosts).
+     * Kept separate from @ref metrics so the golden-comparable summary
+     * is unchanged.
+     */
+    std::uint64_t perfAppOps = 0;
+    std::uint64_t perfSimAccesses = 0;
 };
 
 /** One independently executable simulation; owns its Simulator. */

@@ -58,6 +58,18 @@ applyStatsContext(sim::MachineConfig &machine, const RunContext &ctx)
 }
 
 /**
+ * Whether workloads should use the batched (streamed) access path.
+ * Default on; the perf equivalence suite sets the "legacy_access"
+ * context param to force the original one-call-per-access path and
+ * pin both paths byte-identical.
+ */
+inline bool
+batchedAccessPath(const RunContext &ctx)
+{
+    return ctx.param("legacy_access", 0) == 0;
+}
+
+/**
  * Run the shared invariant suite (structural + counter consistency),
  * file violations on the record, and export the vmstat snapshot (plus
  * trace/sampler artifacts in stats mode).
@@ -70,6 +82,8 @@ checkRunInvariants(sim::Simulator &sim, RunRecord &rec)
     for (auto &v : collectCounterViolations(sim))
         rec.violations.push_back(std::move(v));
     rec.vmstat = sim.vmstat().snapshot();
+    rec.perfAppOps += sim.appOps();
+    rec.perfSimAccesses += sim.metrics().totalAccesses();
     if (sim.config().stats.artifacts) {
         rec.traceEvents = sim.trace().events();
         if (sim.sampler())

@@ -182,6 +182,7 @@ fig07Profiles(const RunContext &ctx)
     p.ycsb.valueBytes = 1024;
     p.ycsb.opsPerWorkload = ops;
     p.ycsb.seed = ctx.derivedSeed(1, p.ycsb.seed);
+    p.ycsb.batchAccesses = batchedAccessPath(ctx);
     p.tiered.seed = p.pmOnly.seed = ctx.seed;
     p.gTiered.seed = p.gPm.seed = ctx.seed;
     applyStatsContext(p.tiered, ctx);

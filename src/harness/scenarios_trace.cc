@@ -49,6 +49,7 @@ runSynthetic(const RunContext &ctx, workloads::SyntheticProfile profile,
     out.cfg.numPages = ctx.golden ? 600 : 2000;
     out.cfg.duration = seconds * 1_s;
     out.cfg.seed = ctx.derivedSeed(3, out.cfg.seed);
+    out.cfg.batchAccesses = batchedAccessPath(ctx);
     workloads::SyntheticWorkload workload(sim, profile, out.cfg);
     workload.run(&out.trace);
     checkRunInvariants(sim, rec);

@@ -40,6 +40,7 @@ ycsbProfile(const RunContext &ctx, std::uint64_t defaultOps,
     applyStatsContext(p.machine, ctx);
     p.ycsb = ctx.golden ? goldenYcsbConfig(ops) : ycsbBenchConfig(ops);
     p.ycsb.seed = ctx.derivedSeed(1, p.ycsb.seed);
+    p.ycsb.batchAccesses = batchedAccessPath(ctx);
     p.opts = benchPolicyOptions(interval);
     return p;
 }

@@ -4,6 +4,17 @@
 
 #include "base/logging.hh"
 
+// The set scans below are pure integer work, so a SIMD implementation
+// is bit-for-bit identical to the scalar one. The AVX2 variants are
+// compiled unconditionally via the target attribute (no -mavx2 build
+// flag, so the rest of the object stays baseline x86-64) and selected
+// once at construction with a runtime CPU check; non-x86 builds and
+// odd way counts use the scalar path.
+#if defined(__x86_64__) && defined(__GNUC__)
+#define MCLOCK_CACHE_AVX2 1
+#include <immintrin.h>
+#endif
+
 namespace mclock {
 
 namespace {
@@ -15,6 +26,63 @@ log2Exact(std::size_t v)
     return static_cast<unsigned>(std::countr_zero(v));
 }
 
+#ifdef MCLOCK_CACHE_AVX2
+
+/** Membership + validity masks over @p ways tags (ways % 4 == 0). */
+__attribute__((target("avx2"))) inline void
+scanTagsAvx2(const std::uint64_t *tags, std::uint64_t tag,
+             unsigned ways, unsigned *match, unsigned *invalid)
+{
+    const __m256i vtag = _mm256_set1_epi64x(static_cast<long long>(tag));
+    const __m256i vinv = _mm256_set1_epi64x(-1);  // kInvalidTag
+    unsigned m = 0;
+    unsigned iv = 0;
+    for (unsigned w = 0; w < ways; w += 4) {
+        const __m256i t = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(tags + w));
+        m |= static_cast<unsigned>(_mm256_movemask_pd(
+                 _mm256_castsi256_pd(_mm256_cmpeq_epi64(t, vtag))))
+             << w;
+        iv |= static_cast<unsigned>(_mm256_movemask_pd(
+                  _mm256_castsi256_pd(_mm256_cmpeq_epi64(t, vinv))))
+              << w;
+    }
+    *match = m;
+    *invalid = iv;
+}
+
+/** First index of the minimum of @p ways stamps (ways 8 or 16). */
+__attribute__((target("avx2"))) inline unsigned
+argminUseAvx2(const std::uint32_t *use, unsigned ways)
+{
+    // Straight-line: both vectors stay in registers across the min
+    // reduction and the first-index-of-min compare.
+    const __m256i t0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(use));
+    __m256i vmin = t0;
+    __m256i t1 = t0;
+    if (ways == 16) {
+        t1 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(use + 8));
+        vmin = _mm256_min_epu32(vmin, t1);
+    }
+    __m128i m = _mm_min_epu32(_mm256_castsi256_si128(vmin),
+                              _mm256_extracti128_si256(vmin, 1));
+    m = _mm_min_epu32(m, _mm_srli_si128(m, 8));
+    m = _mm_min_epu32(m, _mm_srli_si128(m, 4));
+    const __m256i vbest = _mm256_broadcastd_epi32(m);
+    unsigned eq = static_cast<unsigned>(_mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpeq_epi32(t0, vbest))));
+    if (ways == 16) {
+        eq |= static_cast<unsigned>(_mm256_movemask_ps(
+                  _mm256_castsi256_ps(_mm256_cmpeq_epi32(t1, vbest))))
+              << 8;
+    }
+    return static_cast<unsigned>(std::countr_zero(eq));
+}
+
+#endif  // MCLOCK_CACHE_AVX2
+
 }  // namespace
 
 CacheModel::CacheModel(const CacheConfig &cfg)
@@ -24,8 +92,18 @@ CacheModel::CacheModel(const CacheConfig &cfg)
       ways_(cfg.ways)
 {
     MCLOCK_ASSERT(numSets_ > 0 && (numSets_ & (numSets_ - 1)) == 0);
-    lines_.assign(numSets_ * ways_, Line{});
-    useClock_.assign(numSets_, 0);
+    MCLOCK_ASSERT(ways_ >= 1 && ways_ <= 16);  // dirty_ is a 16-bit mask
+    pageMaskable_ = lineShift_ + 6 >= kPageShift;
+#ifdef MCLOCK_CACHE_AVX2
+    if (__builtin_cpu_supports("avx2")) {
+        simdScan_ = ways_ % 4 == 0;
+        simdArgmin_ = ways_ == 8 || ways_ == 16;
+    }
+#endif
+    tags_.assign(numSets_ * ways_, kInvalidTag);
+    use_.assign(numSets_ * ways_, 0);
+    dirty_.assign(numSets_, 0);
+    mru_.assign(numSets_, MruEntry{});
 }
 
 std::size_t
@@ -41,61 +119,162 @@ CacheModel::tagOf(Paddr pa) const
 }
 
 CacheResult
-CacheModel::access(Paddr pa, bool isWrite)
+CacheModel::access(Paddr pa, bool isWrite, std::uint64_t *lineMask)
 {
+    if (lineMask && pageMaskable_) {
+        *lineMask |= std::uint64_t{1}
+            << ((pa & (kPageSize - 1)) >> lineShift_);
+    }
     const std::size_t set = setOf(pa);
     const std::uint64_t tag = tagOf(pa);
-    Line *base = &lines_[set * ways_];
-    const std::uint32_t stamp = ++useClock_[set];
+    MruEntry &mru = mru_[set];
 
-    Line *victim = base;
-    for (unsigned w = 0; w < ways_; ++w) {
-        Line &line = base[w];
-        if (line.tag == tag) {
-            line.lastUse = stamp;
-            line.dirty = line.dirty || isWrite;
-            ++hits_;
-            return {true, false};
+    // Fast path: repeat access to the set's most recent line. The
+    // clock bump and LRU update live entirely in the MRU entry.
+    if (mru.tag == tag) {
+        ++mru.clock;
+        dirty_[set] |= static_cast<std::uint16_t>(
+            static_cast<unsigned>(isWrite) << mru.way);
+        ++hits_;
+        return {true, false};
+    }
+
+    // Different line: reconcile the deferred stamp, then take the
+    // stamp for this access. Tags are always current, so only the
+    // MRU line's lastUse needs the flush.
+    flushMru(mru, set);
+    const std::uint32_t stamp = ++mru.clock;
+
+    const std::size_t base = set * ways_;
+    const std::uint64_t *tags = &tags_[base];
+    const unsigned ways = ways_;
+
+    // Branchless membership + validity masks: full-width compare scans
+    // instead of early-exit loops, whose data-dependent exit branches
+    // mispredict on nearly every access.
+    unsigned match = 0;
+    unsigned invalid = 0;
+#ifdef MCLOCK_CACHE_AVX2
+    if (simdScan_) {
+        scanTagsAvx2(tags, tag, ways, &match, &invalid);
+    } else
+#endif
+    {
+        for (unsigned w = 0; w < ways; ++w) {
+            match |= static_cast<unsigned>(tags[w] == tag) << w;
+            invalid |=
+                static_cast<unsigned>(tags[w] == kInvalidTag) << w;
         }
-        if (line.lastUse < victim->lastUse ||
-            (line.tag == kInvalidTag && victim->tag != kInvalidTag)) {
-            victim = &line;
+    }
+
+    if (match) {
+        const unsigned w = static_cast<unsigned>(std::countr_zero(match));
+        use_[base + w] = stamp;
+        dirty_[set] |= static_cast<std::uint16_t>(
+            static_cast<unsigned>(isWrite) << w);
+        mru.tag = tag;
+        mru.way = static_cast<std::uint8_t>(w);
+        ++hits_;
+        return {true, false};
+    }
+
+    // Miss: the original victim scan (replace when lastUse < victim's,
+    // or line invalid while victim valid) reduces to two cheap cases.
+    // With an invalid line present it settles on the first one: an
+    // invalid victim has lastUse 0, so no later line can undercut it.
+    // All-valid, it is a strict-< running minimum of lastUse (first way
+    // wins ties, including the wrapped-clock lastUse==0 case).
+    unsigned victim;
+    if (invalid) {
+        victim = static_cast<unsigned>(std::countr_zero(invalid));
+    } else {
+#ifdef MCLOCK_CACHE_AVX2
+        if (simdArgmin_) {
+            victim = argminUseAvx2(&use_[base], ways);
+        } else
+#endif
+        {
+            const std::uint32_t *use = &use_[base];
+            std::uint32_t best = use[0];
+            victim = 0;
+            for (unsigned w = 1; w < ways; ++w) {
+                const bool better = use[w] < best;
+                best = better ? use[w] : best;
+                victim = better ? w : victim;
+            }
         }
     }
 
     ++misses_;
-    const bool writeback = victim->tag != kInvalidTag && victim->dirty;
+    const bool valid = invalid == 0;
+    const std::uint16_t victimBit =
+        static_cast<std::uint16_t>(1u << victim);
+    const bool writeback = valid && (dirty_[set] & victimBit) != 0;
     if (writeback)
         ++writebacks_;
-    victim->tag = tag;
-    victim->lastUse = stamp;
-    victim->dirty = isWrite;
+    tags_[base + victim] = tag;
+    use_[base + victim] = stamp;
+    if (isWrite)
+        dirty_[set] |= victimBit;
+    else
+        dirty_[set] = static_cast<std::uint16_t>(dirty_[set] &
+                                                 ~victimBit);
+    mru.tag = tag;
+    mru.way = static_cast<std::uint8_t>(victim);
     return {false, writeback};
 }
 
 void
-CacheModel::invalidatePage(Paddr pageBase)
+CacheModel::invalidateLine(std::size_t set, std::uint64_t tag)
 {
-    const Paddr start = pageBase & ~static_cast<Paddr>(kPageSize - 1);
-    for (Paddr pa = start; pa < start + kPageSize;
-         pa += (Paddr{1} << lineShift_)) {
-        const std::size_t set = setOf(pa);
-        const std::uint64_t tag = tagOf(pa);
-        Line *base = &lines_[set * ways_];
-        for (unsigned w = 0; w < ways_; ++w) {
-            if (base[w].tag == tag) {
-                base[w] = Line{};
-                break;
-            }
+    MruEntry &mru = mru_[set];
+    if (mru.tag == tag) {
+        // The invalidated line is the set's MRU line: its pending
+        // stamp dies with it (the line is reset below).
+        mru.tag = kInvalidTag;
+    }
+    const std::size_t base = set * ways_;
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (tags_[base + w] == tag) {
+            tags_[base + w] = kInvalidTag;
+            use_[base + w] = 0;
+            dirty_[set] = static_cast<std::uint16_t>(
+                dirty_[set] & ~(1u << w));
+            break;
         }
     }
+}
+
+void
+CacheModel::invalidatePage(Paddr pageBase, std::uint64_t *lineMask)
+{
+    const Paddr start = pageBase & ~static_cast<Paddr>(kPageSize - 1);
+    const Paddr lineBytes = Paddr{1} << lineShift_;
+    if (lineMask && pageMaskable_) {
+        // Only lines whose mask bit is set can be cached; everything
+        // else never went through access() at this physical address.
+        std::uint64_t mask = *lineMask;
+        *lineMask = 0;
+        while (mask != 0) {
+            const unsigned i = static_cast<unsigned>(
+                std::countr_zero(mask));
+            mask &= mask - 1;
+            const Paddr pa = start + static_cast<Paddr>(i) * lineBytes;
+            invalidateLine(setOf(pa), tagOf(pa));
+        }
+        return;
+    }
+    for (Paddr pa = start; pa < start + kPageSize; pa += lineBytes)
+        invalidateLine(setOf(pa), tagOf(pa));
 }
 
 void
 CacheModel::reset()
 {
-    lines_.assign(lines_.size(), Line{});
-    useClock_.assign(useClock_.size(), 0);
+    tags_.assign(tags_.size(), kInvalidTag);
+    use_.assign(use_.size(), 0);
+    dirty_.assign(dirty_.size(), 0);
+    mru_.assign(mru_.size(), MruEntry{});
     hits_ = misses_ = writebacks_ = 0;
 }
 

@@ -9,6 +9,19 @@
  * placement, so a tiering policy should not be rewarded for promoting a
  * page whose lines are cache-resident. Lookups are tag-only; no data is
  * stored.
+ *
+ * Hot-path layout: the model is on the critical path of every simulated
+ * access, so the per-set state is stored structure-of-arrays — one
+ * contiguous tag array, one LRU-stamp array, and a per-set dirty
+ * bitmask — and scanned branchlessly (a full-width compare mask instead
+ * of an early-exit loop, whose data-dependent branch mispredicts on
+ * nearly every lookup). Each set additionally carries a small MRU entry
+ * (last-accessed line's tag, way, the set's use clock, and the line's
+ * pending LRU stamp); repeat accesses to the same line are served
+ * entirely from that 16-byte record. The deferred lastUse value is
+ * flushed before any other access reads or writes the set, so every
+ * hit/miss/victim/writeback decision is identical to the eager
+ * implementation.
  */
 
 #ifndef MCLOCK_MEM_CACHE_HH_
@@ -38,15 +51,27 @@ class CacheModel
     /**
      * Access the line containing physical address @p pa.
      * Allocates on miss (write-allocate); marks the line dirty on stores.
+     *
+     * @p lineMask when non-null, the per-page residency filter of the
+     * page containing @p pa (see invalidatePage): the accessed line's
+     * bit is set before the lookup, keeping the filter conservative.
      */
-    CacheResult access(Paddr pa, bool isWrite);
+    CacheResult access(Paddr pa, bool isWrite,
+                       std::uint64_t *lineMask = nullptr);
 
     /**
      * Invalidate every line belonging to the 4 KiB page at @p pageBase.
      * Called when a page migrates (its physical address changes) so stale
      * lines do not keep serving hits for the old location.
+     *
+     * @p lineMask when non-null, a conservative per-page filter: bit i
+     * set means line i of the page MAY be cached (set on every access
+     * to that line), bit clear means it definitely is not, so its set
+     * scan is skipped. The mask is zeroed on return. Exactness: lines
+     * enter the cache only through access(), which sets the bit first.
      */
-    void invalidatePage(Paddr pageBase);
+    void invalidatePage(Paddr pageBase,
+                        std::uint64_t *lineMask = nullptr);
 
     void reset();
 
@@ -57,11 +82,19 @@ class CacheModel
     unsigned ways() const { return ways_; }
 
   private:
-    struct Line
+    /**
+     * Per-set MRU filter entry. Holds the set's use clock and the
+     * last-accessed line's identity plus its not-yet-written-back
+     * lastUse stamp. Invariant: when tag != kInvalidTag, the line
+     * (way) has logical lastUse == clock, possibly newer than what
+     * use_ stores; flushMru() reconciles. Dirty state lives in the
+     * shared dirty_ bitmask and is always current.
+     */
+    struct MruEntry
     {
         std::uint64_t tag = kInvalidTag;
-        std::uint32_t lastUse = 0;  ///< per-set LRU stamp
-        bool dirty = false;
+        std::uint32_t clock = 0;  ///< per-set LRU clock (authoritative)
+        std::uint8_t way = 0;
     };
 
     static constexpr std::uint64_t kInvalidTag = ~0ull;
@@ -69,11 +102,37 @@ class CacheModel
     std::size_t setOf(Paddr pa) const;
     std::uint64_t tagOf(Paddr pa) const;
 
+    /** Write the MRU entry's pending lastUse back to use_. */
+    void
+    flushMru(const MruEntry &mru, std::size_t set)
+    {
+        if (mru.tag != kInvalidTag)
+            use_[set * ways_ + mru.way] = mru.clock;
+    }
+
+    /** Invalidate @p tag in @p set if present (slow scan, no MRU). */
+    void invalidateLine(std::size_t set, std::uint64_t tag);
+
     unsigned lineShift_;
     std::size_t numSets_;
     unsigned ways_;
-    std::vector<Line> lines_;       ///< numSets_ * ways_, set-major
-    std::vector<std::uint32_t> useClock_;  ///< per-set LRU clock
+    /**
+     * Page masks are only usable when a page spans at most 64 lines
+     * (one bit each); for smaller line sizes both access() and
+     * invalidatePage() ignore the mask and stay exact via full scans.
+     */
+    bool pageMaskable_;
+    // Runtime-dispatched SIMD set scans (see cache.cc); false when the
+    // host CPU lacks AVX2 or the way count doesn't tile into vectors.
+    bool simdScan_ = false;
+    bool simdArgmin_ = false;
+    // Structure-of-arrays per-line state, set-major: the hit scan walks
+    // only tags_, the victim scan only tags_ + use_.
+    std::vector<std::uint64_t> tags_;   ///< numSets_ * ways_
+    std::vector<std::uint32_t> use_;    ///< per-set LRU stamps
+    std::vector<std::uint16_t> dirty_;  ///< per-set dirty bitmask (way i
+                                        ///< dirty <=> bit i set)
+    std::vector<MruEntry> mru_;         ///< per-set fast-path entry
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t writebacks_ = 0;

@@ -11,6 +11,7 @@ MemoryModePolicy::MemoryModePolicy(std::size_t dramCacheBytes)
     : dramCacheBytes_(dramCacheBytes)
 {
     MCLOCK_ASSERT(dramCacheBytes > 0);
+    observesMemoryAccess_ = true;
 }
 
 void

@@ -91,8 +91,16 @@ class TieringPolicy
     /**
      * A memory-visible access (LLC miss) reached @p page. The PTE
      * accessed/dirty bits have already been set by the "hardware".
+     *
+     * Policies that override this must set @c observesMemoryAccess_ in
+     * their constructor: the simulator consults observesMemoryAccess()
+     * once at attach time and skips the virtual dispatch on the access
+     * fast path for the (common) policies that observe nothing here.
      */
     virtual void onMemoryAccess(Page *page, AccessContext &ctx);
+
+    /** True iff onMemoryAccess is overridden (fast-path dispatch hint). */
+    bool observesMemoryAccess() const { return observesMemoryAccess_; }
 
     /**
      * A supervised access: the kernel mediated this access (read/write
@@ -133,6 +141,8 @@ class TieringPolicy
     std::size_t evictToStorage(sim::Node &node, std::size_t target);
 
     sim::Simulator *sim_ = nullptr;
+    /** Set in the constructor of policies overriding onMemoryAccess. */
+    bool observesMemoryAccess_ = false;
 };
 
 }  // namespace policies

@@ -3,47 +3,33 @@
 namespace mclock {
 namespace sim {
 
+void
+Metrics::presizeTiers(std::size_t numTiers)
+{
+    numTiers_ = numTiers;
+    if (tierAccessTotals_.size() < numTiers)
+        tierAccessTotals_.resize(numTiers);
+    if (tierLatencyTotals_.size() < numTiers)
+        tierLatencyTotals_.resize(numTiers);
+}
+
 MetricsWindow &
-Metrics::windowAt(SimTime now)
+Metrics::windowSlow(SimTime now)
 {
     const std::size_t idx = static_cast<std::size_t>(now / windowLen_);
-    if (windows_.size() <= idx)
+    if (windows_.size() <= idx) {
         windows_.resize(idx + 1);
-    return windows_[idx];
-}
-
-namespace {
-
-void
-bumpAt(std::vector<std::uint64_t> &counts, TierRank rank,
-       std::uint64_t delta)
-{
-    const auto idx = static_cast<std::size_t>(rank);
-    if (counts.size() <= idx)
-        counts.resize(idx + 1);
-    counts[idx] += delta;
-}
-
-}  // namespace
-
-void
-Metrics::recordAccess(SimTime now, TierRank tier, bool llcHit)
-{
-    auto &w = windowAt(now);
-    ++w.accesses;
-    ++totalAccesses_;
-    if (llcHit) {
-        ++w.llcHits;
-        return;
+        if (numTiers_ > 0) {
+            for (auto &w : windows_) {
+                if (w.tierAccesses.size() < numTiers_)
+                    w.tierAccesses.resize(numTiers_);
+            }
+        }
     }
-    bumpAt(w.tierAccesses, tier, 1);
-    bumpAt(tierAccessTotals_, tier, 1);
-}
-
-void
-Metrics::recordMemLatency(TierRank tier, SimTime lat)
-{
-    bumpAt(tierLatencyTotals_, tier, lat);
+    curWinIdx_ = idx;
+    curWinStart_ = static_cast<SimTime>(idx) * windowLen_;
+    curWinEnd_ = curWinStart_ + windowLen_;
+    return windows_[idx];
 }
 
 std::uint64_t

@@ -58,10 +58,36 @@ class Metrics
   public:
     explicit Metrics(SimTime windowLen = 20_s) : windowLen_(windowLen) {}
 
-    void recordAccess(SimTime now, TierRank tier, bool llcHit);
+    /**
+     * Declare the machine's tier count so the per-tier counter vectors
+     * can be sized once up front instead of growing on first touch.
+     * Purely an allocation hint: counter values are unaffected, and the
+     * accessors treat missing and zero entries identically.
+     */
+    void presizeTiers(std::size_t numTiers);
+
+    // Called once per simulated access; defined inline so the call
+    // disappears into Simulator::accessOnePage.
+    void
+    recordAccess(SimTime now, TierRank tier, bool llcHit)
+    {
+        auto &w = windowAt(now);
+        ++w.accesses;
+        ++totalAccesses_;
+        if (llcHit) {
+            ++w.llcHits;
+            return;
+        }
+        bumpAt(w.tierAccesses, tier, 1);
+        bumpAt(tierAccessTotals_, tier, 1);
+    }
 
     /** Charge @p lat ns of memory service time to the tier at @p tier. */
-    void recordMemLatency(TierRank tier, SimTime lat);
+    void
+    recordMemLatency(TierRank tier, SimTime lat)
+    {
+        bumpAt(tierLatencyTotals_, tier, lat);
+    }
 
     /**
      * A page was migrated upward. Stamps the page with the current
@@ -100,9 +126,38 @@ class Metrics
     const StatRegistry &stats() const { return stats_; }
 
   private:
-    MetricsWindow &windowAt(SimTime now);
+    /**
+     * Window for time @p now. The simulated clock is monotonic, so
+     * nearly every call lands in the same window as the previous one;
+     * the cached-bounds check replaces a 64-bit division per access.
+     */
+    MetricsWindow &
+    windowAt(SimTime now)
+    {
+        if (now >= curWinStart_ && now < curWinEnd_) [[likely]]
+            return windows_[curWinIdx_];
+        return windowSlow(now);
+    }
+
+    /** Out-of-line path: recompute the index, grow windows_. */
+    MetricsWindow &windowSlow(SimTime now);
+
+    static void
+    bumpAt(std::vector<std::uint64_t> &counts, TierRank rank,
+           std::uint64_t delta)
+    {
+        const auto idx = static_cast<std::size_t>(rank);
+        if (counts.size() <= idx) [[unlikely]]
+            counts.resize(idx + 1);
+        counts[idx] += delta;
+    }
 
     SimTime windowLen_;
+    std::size_t numTiers_ = 0;  ///< presize hint for tier vectors
+    // Bounds of the most recently touched window (see windowAt).
+    SimTime curWinStart_ = 0;
+    SimTime curWinEnd_ = 0;  ///< exclusive; 0 forces a recompute
+    std::size_t curWinIdx_ = 0;
     std::vector<MetricsWindow> windows_;
     std::uint64_t round_ = 1;
     std::uint64_t totalAccesses_ = 0;

@@ -96,7 +96,7 @@ MigrationEngine::migrate(Page *page, NodeId dst, SimTime &cost)
     const Paddr oldPaddr = page->paddr();
     cost = fullCost;
     if (llc_)
-        llc_->invalidatePage(oldPaddr);
+        llc_->invalidatePage(oldPaddr, page->llcLineMask());
     src.freeFrame(oldPaddr);
     page->placeOn(dst, newPaddr);
     MCLOCK_VM_HOOK(onMigrationCommit(page, src.tier(), dstNode.tier()));
@@ -156,8 +156,8 @@ MigrationEngine::exchange(Page *a, Page *b, SimTime &cost)
     const Paddr pa = a->paddr();
     const Paddr pb = b->paddr();
     if (llc_) {
-        llc_->invalidatePage(pa);
-        llc_->invalidatePage(pb);
+        llc_->invalidatePage(pa, a->llcLineMask());
+        llc_->invalidatePage(pb, b->llcLineMask());
     }
     a->placeOn(nb.id(), pb);
     b->placeOn(na.id(), pa);

@@ -25,6 +25,22 @@ Simulator::Simulator(MachineConfig cfg)
       promoteThrottleUntil_(mem_.numNodes(), 0)
 {
     trace_.bindClock(&now_);
+    // Snapshot the immutable topology for the access fast path: node
+    // tiers and per-tier latencies never change after construction.
+    metrics_.presizeTiers(cfg_.mem.numTiers());
+    nodeTier_.resize(mem_.numNodes());
+    mem_.forEachNode([this](Node &node) {
+        nodeTier_[static_cast<std::size_t>(node.id())] = node.tier();
+    });
+    tierLoadLat_.reserve(cfg_.mem.numTiers());
+    tierStoreLat_.reserve(cfg_.mem.numTiers());
+    for (std::size_t r = 0; r < cfg_.mem.numTiers(); ++r) {
+        const auto &timing = cfg_.mem.timing(static_cast<TierRank>(r));
+        tierLoadLat_.push_back(timing.loadLatency);
+        tierStoreLat_.push_back(timing.storeLatency);
+    }
+    bottomTier_ = mem_.tierOrder().back();
+    trackReaccess_ = mem_.numTiers() > 1;
     // Low-level subsystems (LRU lists) record through raw sinks so
     // pfra/ needs no dependency on the simulator.
     mem_.forEachNode([this](Node &node) {
@@ -56,6 +72,7 @@ Simulator::setPolicy(std::unique_ptr<policies::TieringPolicy> policy)
     MCLOCK_ASSERT(policy != nullptr);
     policy_ = std::move(policy);
     policy_->attach(*this);
+    policyObservesAccess_ = policy_->observesMemoryAccess();
 }
 
 Vaddr
@@ -80,7 +97,7 @@ Simulator::unmapRegion(Vaddr start)
         MCLOCK_ASSERT(!pg->onLru());
         if (pg->resident()) {
             if (llc_)
-                llc_->invalidatePage(pg->paddr());
+                llc_->invalidatePage(pg->paddr(), pg->llcLineMask());
             mem_.node(pg->node()).freeFrame(pg->paddr());
             pg->unplace();
         } else {
@@ -97,27 +114,38 @@ Simulator::unmapRegion(Vaddr start)
 }
 
 void
-Simulator::read(Vaddr va, std::size_t bytes)
-{
-    accessRange(va, bytes, false, false);
-}
-
-void
-Simulator::write(Vaddr va, std::size_t bytes)
-{
-    accessRange(va, bytes, true, false);
-}
-
-void
 Simulator::readSupervised(Vaddr va, std::size_t bytes)
 {
+    ++appOps_;
     accessRange(va, bytes, false, true);
 }
 
 void
 Simulator::writeSupervised(Vaddr va, std::size_t bytes)
 {
+    ++appOps_;
     accessRange(va, bytes, true, true);
+}
+
+void
+Simulator::stream(const MemOp *ops, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const MemOp &op = ops[i];
+        switch (op.kind) {
+          case MemOp::Kind::Read:
+            ++appOps_;
+            dispatchAccess(op.va, op.bytes, false);
+            break;
+          case MemOp::Kind::Write:
+            ++appOps_;
+            dispatchAccess(op.va, op.bytes, true);
+            break;
+          case MemOp::Kind::Compute:
+            compute(static_cast<SimTime>(op.va));
+            break;
+        }
+    }
 }
 
 void
@@ -129,7 +157,7 @@ Simulator::accessRange(Vaddr va, std::size_t bytes, bool write,
     // range; we sample one access per 512 B sub-block, which preserves
     // the per-page reference behaviour and the memory-boundedness of
     // large transfers without simulating all 64 B lines.
-    constexpr Vaddr kStride = 512;
+    constexpr Vaddr kStride = kAccessBlock;
     const Vaddr lastByte = va + bytes - 1;
     accessOnePage(va, write, supervised);
     for (Vaddr cursor = (va & ~(kStride - 1)) + kStride;
@@ -432,7 +460,7 @@ Simulator::evictPage(Page *page)
         swap_.pageOut(page);
         chargeBackground(cfg_.mem.swapLatency);
         if (llc_)
-            llc_->invalidatePage(page->paddr());
+            llc_->invalidatePage(page->paddr(), page->llcLineMask());
         mem_.node(page->node()).freeFrame(page->paddr());
         page->unplace();
         page->setReferenced(false);
@@ -495,9 +523,9 @@ Simulator::accessOnePage(Vaddr va, bool write, bool supervised)
     bool llcHit = false;
     if (llc_) {
         const Paddr pa = pg->paddr() + (va & (kPageSize - 1));
-        llcHit = llc_->access(pa, write).hit;
+        llcHit = llc_->access(pa, write, pg->llcLineMask()).hit;
     }
-    const TierRank tier = mem_.node(pg->node()).tier();
+    const TierRank tier = nodeTier_[static_cast<std::size_t>(pg->node())];
     metrics_.recordAccess(now_, tier, llcHit);
     if (llcHit) {
         now_ += cfg_.cache.hitLatency;
@@ -506,29 +534,23 @@ Simulator::accessOnePage(Vaddr va, bool write, bool supervised)
 
     // Memory-visible access: the hardware walks the page table and sets
     // the PTE accessed (and on stores, dirty) bits.
-    pg->setPteReferenced(true);
-    if (write) {
-        pg->setPteDirty(true);
-        pg->setDirty(true);
-    }
+    pg->markAccessed(write);
     pg->bumpAccessCount();
     pg->setLastAccess(now_);
     // Re-access tracking covers every tier a page can be promoted into,
     // i.e. everything above the bottom tier (just DRAM on two tiers).
-    if (mem_.numTiers() > 1 && tier != mem_.tierOrder().back())
+    if (trackReaccess_ && tier != bottomTier_)
         metrics_.maybeRecordReaccess(now_, pg);
 
-    policies::AccessContext ctx;
-    ctx.va = va;
-    ctx.write = write;
-    policy_->onMemoryAccess(pg, ctx);
-
-    SimTime lat;
-    if (ctx.latencyOverridden) {
-        lat = ctx.latency;
-    } else {
-        const auto &timing = cfg_.mem.timing(tier);
-        lat = write ? timing.storeLatency : timing.loadLatency;
+    const auto tierIdx = static_cast<std::size_t>(tier);
+    SimTime lat = write ? tierStoreLat_[tierIdx] : tierLoadLat_[tierIdx];
+    if (policyObservesAccess_) [[unlikely]] {
+        policies::AccessContext ctx;
+        ctx.va = va;
+        ctx.write = write;
+        policy_->onMemoryAccess(pg, ctx);
+        if (ctx.latencyOverridden)
+            lat = ctx.latency;
     }
     metrics_.recordMemLatency(tier, lat);
     now_ += lat;

@@ -67,10 +67,20 @@ class Simulator
     void unmapRegion(Vaddr start);
 
     /** Unsupervised (mmap-style) load of @p bytes starting at @p va. */
-    void read(Vaddr va, std::size_t bytes = 8);
+    void
+    read(Vaddr va, std::size_t bytes = 8)
+    {
+        ++appOps_;
+        dispatchAccess(va, bytes, false);
+    }
 
     /** Unsupervised (mmap-style) store. */
-    void write(Vaddr va, std::size_t bytes = 8);
+    void
+    write(Vaddr va, std::size_t bytes = 8)
+    {
+        ++appOps_;
+        dispatchAccess(va, bytes, true);
+    }
 
     /** Supervised load: the syscall path calls mark_page_accessed(). */
     void readSupervised(Vaddr va, std::size_t bytes = 8);
@@ -81,7 +91,57 @@ class Simulator
     /** Pure CPU work: advances time, dispatching daemons on the way. */
     void compute(SimTime duration);
 
+    /** One queued operation for batched access streaming. */
+    struct MemOp
+    {
+        enum class Kind : std::uint8_t {
+            Read,     ///< unsupervised load (va, bytes)
+            Write,    ///< unsupervised store (va, bytes)
+            Compute,  ///< CPU work; va carries the duration in ns
+        };
+
+        Vaddr va = 0;
+        std::uint32_t bytes = 0;
+        Kind kind = Kind::Read;
+
+        static MemOp
+        load(Vaddr va, std::uint32_t bytes = 8)
+        {
+            return {va, bytes, Kind::Read};
+        }
+
+        static MemOp
+        store(Vaddr va, std::uint32_t bytes = 8)
+        {
+            return {va, bytes, Kind::Write};
+        }
+
+        static MemOp
+        cpu(SimTime duration)
+        {
+            return {static_cast<Vaddr>(duration), 0, Kind::Compute};
+        }
+    };
+
+    /**
+     * Process @p n queued operations in program order. Semantically
+     * identical to issuing the equivalent read()/write()/compute()
+     * calls one by one; the batch form keeps the access loop inside
+     * one translation unit so the per-op call overhead is amortised.
+     * Workloads accumulate one logical operation's accesses and flush
+     * them at the op boundary.
+     */
+    void stream(const MemOp *ops, std::size_t n);
+
     SimTime now() const { return now_; }
+
+    /**
+     * Application-issued memory operations so far: one per
+     * read()/write() (supervised or not) or per Read/Write MemOp.
+     * Wall-clock benchmarking reports this as "ops"; it is not part of
+     * any golden-compared metric.
+     */
+    std::uint64_t appOps() const { return appOps_; }
 
     // --- Services for policies -------------------------------------------
 
@@ -200,6 +260,25 @@ class Simulator
     void accessOnePage(Vaddr va, bool write, bool supervised);
     void accessRange(Vaddr va, std::size_t bytes, bool write,
                      bool supervised);
+
+    /** Sampling granularity of multi-byte ranges (see accessRange). */
+    static constexpr Vaddr kAccessBlock = 512;
+
+    /**
+     * Unsupervised access entry point, inline so element-sized workload
+     * accesses (the common case by far) reach accessOnePage with one
+     * call instead of three. A range confined to one 512 B block is
+     * exactly accessRange's single-sample case.
+     */
+    void
+    dispatchAccess(Vaddr va, std::size_t bytes, bool write)
+    {
+        if (((va ^ (va + bytes - 1)) & ~(kAccessBlock - 1)) == 0)
+            [[likely]]
+            accessOnePage(va, write, false);
+        else
+            accessRange(va, bytes, write, false);
+    }
     Page *handleMinorFault(PageNum vpn);
     void handleSwapIn(Page *page);
     void allocateFrameFor(Page *page);
@@ -221,6 +300,24 @@ class Simulator
     stats::VmStat vmstat_;
     stats::TraceBuffer trace_;
     std::unique_ptr<stats::VmstatSampler> sampler_;
+    // --- Cached hot-path state -------------------------------------------
+    // Derived once from the (immutable) machine topology and the
+    // installed policy so accessOnePage never chases node objects, the
+    // config tier table, or a virtual dispatch it does not need.
+    /** node id -> tier rank (nodes never change tier). */
+    std::vector<TierRank> nodeTier_;
+    /** tier rank -> 64 B load/store latency (cfg_.mem.timing copy). */
+    std::vector<SimTime> tierLoadLat_;
+    std::vector<SimTime> tierStoreLat_;
+    /** Rank of the machine's bottom tier (re-access tracking bound). */
+    TierRank bottomTier_ = 0;
+    /** More than one tier, i.e. re-access tracking is meaningful. */
+    bool trackReaccess_ = false;
+    /** The installed policy overrides onMemoryAccess (memory-mode). */
+    bool policyObservesAccess_ = false;
+    /** Application-issued memory operations (see appOps()). */
+    std::uint64_t appOps_ = 0;
+
     /** Per-node below-low-watermark latch for crossing detection. */
     std::vector<bool> belowLow_;
     /** Per-node consecutive aborted promotions (fault injection only). */

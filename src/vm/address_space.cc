@@ -16,7 +16,7 @@ AddressSpace::mmap(std::size_t bytes, bool anon, const std::string &name)
     regions_.push_back(Region{start, rounded, anon, name});
     const PageNum limit = pageNumOf(nextFree_);
     if (pages_.size() < limit)
-        pages_.resize(limit);
+        pages_.resize(limit, nullptr);
     return start;
 }
 
@@ -40,9 +40,9 @@ AddressSpace::createPage(PageNum vpn)
     MCLOCK_ASSERT(!pages_[vpn]);
     const Region *region = regionOf(vpn << kPageShift);
     MCLOCK_ASSERT(region != nullptr);
-    pages_[vpn] = std::make_unique<Page>(this, vpn, region->anon);
+    pages_[vpn] = arena_.create(this, vpn, region->anon);
     ++livePages_;
-    return pages_[vpn].get();
+    return pages_[vpn];
 }
 
 void
@@ -50,7 +50,8 @@ AddressSpace::destroyPage(PageNum vpn)
 {
     MCLOCK_ASSERT(vpn < pages_.size() && pages_[vpn]);
     MCLOCK_ASSERT(!pages_[vpn]->onLru());
-    pages_[vpn].reset();
+    arena_.destroy(pages_[vpn]);
+    pages_[vpn] = nullptr;
     MCLOCK_ASSERT(livePages_ > 0);
     --livePages_;
 }

@@ -8,15 +8,21 @@
  * vpn -> Page mapping is a dense vector because the bump allocator hands
  * out contiguous regions, which keeps the simulator's translation on the
  * access fast path to a single indexed load.
+ *
+ * Page objects themselves come from a slab arena rather than individual
+ * heap allocations: first-touch order is usually sequential, so adjacent
+ * vpns share cache lines, and create/destroy churn (swap, munmap) reuses
+ * slots without allocator traffic. Arena addresses are stable, so raw
+ * Page* and intrusive LRU hooks remain valid for the space's lifetime.
  */
 
 #ifndef MCLOCK_VM_ADDRESS_SPACE_HH_
 #define MCLOCK_VM_ADDRESS_SPACE_HH_
 
-#include <memory>
 #include <string>
 #include <vector>
 
+#include "base/arena.hh"
 #include "base/types.hh"
 #include "vm/page.hh"
 
@@ -66,7 +72,7 @@ class AddressSpace
     {
         if (vpn >= pages_.size())
             return nullptr;
-        return pages_[vpn].get();
+        return pages_[vpn];
     }
 
     /**
@@ -98,9 +104,9 @@ class AddressSpace
     void
     forEachPage(Fn &&fn) const
     {
-        for (const auto &p : pages_) {
+        for (Page *p : pages_) {
             if (p)
-                fn(p.get());
+                fn(p);
         }
     }
 
@@ -109,7 +115,8 @@ class AddressSpace
     static constexpr Vaddr kBase = 0x10000;
 
     std::vector<Region> regions_;
-    std::vector<std::unique_ptr<Page>> pages_;
+    SlabArena<Page> arena_;
+    std::vector<Page *> pages_;
     Vaddr nextFree_ = kBase;
     std::size_t livePages_ = 0;
 };

@@ -8,6 +8,14 @@
  * (PagePromote), and the PTE-level state (accessed/dirty/present bits)
  * that the hardware maintains in the process page table is folded in as
  * well, since our pages are singly mapped.
+ *
+ * Layout discipline (the access fast path touches every field below the
+ * hook on every simulated memory access): all boolean page/PTE state is
+ * packed into one flag word, exactly like the kernel's page->flags, and
+ * the fields the per-access path reads/writes (placement, flags, access
+ * stamps) lead the struct so one line fill covers them. Pages are
+ * allocated from the address space's slab arena in first-touch order,
+ * so sequential vpns sit contiguously in memory.
  */
 
 #ifndef MCLOCK_VM_PAGE_HH_
@@ -66,7 +74,7 @@ class Page
 {
   public:
     Page(AddressSpace *space, PageNum vpn, bool anon)
-        : space_(space), vpn_(vpn), anon_(anon)
+        : space_(space), vpn_(vpn), flags_(anon ? kAnon : 0u)
     {}
 
     Page(const Page &) = delete;
@@ -77,7 +85,7 @@ class Page
     Vaddr vaddr() const { return vpn_ << kPageShift; }
 
     /** File-backed vs anonymous mapping (fixed at creation). */
-    bool isAnon() const { return anon_; }
+    bool isAnon() const { return flag(kAnon); }
 
     // --- Frame placement -------------------------------------------------
     NodeId node() const { return node_; }
@@ -99,49 +107,61 @@ class Page
     }
 
     // --- Software page flags (struct page flags) -------------------------
-    bool referenced() const { return referenced_; }
-    void setReferenced(bool v) { referenced_ = v; }
+    bool referenced() const { return flag(kReferenced); }
+    void setReferenced(bool v) { setFlag(kReferenced, v); }
 
-    bool active() const { return active_; }
-    void setActive(bool v) { active_ = v; }
+    bool active() const { return flag(kActive); }
+    void setActive(bool v) { setFlag(kActive, v); }
 
     /** MULTI-CLOCK's PagePromote flag. */
-    bool promoteFlag() const { return promote_; }
-    void setPromoteFlag(bool v) { promote_ = v; }
+    bool promoteFlag() const { return flag(kPromote); }
+    void setPromoteFlag(bool v) { setFlag(kPromote, v); }
 
-    bool dirty() const { return dirty_; }
-    void setDirty(bool v) { dirty_ = v; }
+    bool dirty() const { return flag(kDirty); }
+    void setDirty(bool v) { setFlag(kDirty, v); }
 
-    bool unevictable() const { return unevictable_; }
-    void setUnevictable(bool v) { unevictable_ = v; }
+    bool unevictable() const { return flag(kUnevictable); }
+    void setUnevictable(bool v) { setFlag(kUnevictable, v); }
 
     /** Page is pinned/locked and may not be migrated right now. */
-    bool locked() const { return locked_; }
-    void setLocked(bool v) { locked_ = v; }
+    bool locked() const { return flag(kLocked); }
+    void setLocked(bool v) { setFlag(kLocked, v); }
 
     // --- PTE-level state (maintained by the "hardware") ------------------
     /** Accessed bit the CPU sets in the PTE on a page-table walk. */
-    bool pteReferenced() const { return pteReferenced_; }
-    void setPteReferenced(bool v) { pteReferenced_ = v; }
+    bool pteReferenced() const { return flag(kPteReferenced); }
+    void setPteReferenced(bool v) { setFlag(kPteReferenced, v); }
 
     /** Test-and-clear, as the kernel's page_referenced() rmap walk does. */
     bool
     testAndClearPteReferenced()
     {
-        const bool was = pteReferenced_;
-        pteReferenced_ = false;
+        const bool was = flag(kPteReferenced);
+        flags_ &= static_cast<std::uint16_t>(~kPteReferenced);
         return was;
     }
 
-    bool pteDirty() const { return pteDirty_; }
-    void setPteDirty(bool v) { pteDirty_ = v; }
+    bool pteDirty() const { return flag(kPteDirty); }
+    void setPteDirty(bool v) { setFlag(kPteDirty, v); }
+
+    /**
+     * Fast-path combination of setPteReferenced(true) and, for stores,
+     * setPteDirty(true) + setDirty(true): one read-modify-write of the
+     * flag word instead of three.
+     */
+    void
+    markAccessed(bool write)
+    {
+        flags_ |= write ? (kPteReferenced | kPteDirty | kDirty)
+                        : kPteReferenced;
+    }
 
     /**
      * PTE poisoned for NUMA-hint fault tracking (PROT_NONE). The next
      * access traps into the policy instead of completing directly.
      */
-    bool hintPoisoned() const { return hintPoisoned_; }
-    void setHintPoisoned(bool v) { hintPoisoned_ = v; }
+    bool hintPoisoned() const { return flag(kHintPoisoned); }
+    void setHintPoisoned(bool v) { setFlag(kHintPoisoned, v); }
 
     // --- LRU list membership ---------------------------------------------
     LruListKind list() const { return list_; }
@@ -150,6 +170,15 @@ class Page
 
     /** Intrusive linkage used by pfra::LruLists. */
     ListHook lruHook;
+
+    /**
+     * Conservative LLC line-residency filter for this page's current
+     * frame: bit i set means line i MAY be cached. Maintained by
+     * CacheModel::access and consumed (and zeroed) by
+     * CacheModel::invalidatePage, which skips the set scan for every
+     * clear bit. Purely a host-side accelerator; no simulated state.
+     */
+    std::uint64_t *llcLineMask() { return &llcLines_; }
 
     // --- Policy scratch state --------------------------------------------
     /** AutoTiering-OPM's n-bit access-history vector. */
@@ -172,8 +201,8 @@ class Page
     void setLastHintFault(SimTime t) { lastHintFault_ = t; }
 
     /** Hint fault seen since the last profiling pass (OPM history). */
-    bool hintFaultedSinceScan() const { return hintFaultedSinceScan_; }
-    void setHintFaultedSinceScan(bool v) { hintFaultedSinceScan_ = v; }
+    bool hintFaultedSinceScan() const { return flag(kHintSinceScan); }
+    void setHintFaultedSinceScan(bool v) { setFlag(kHintSinceScan, v); }
 
     /** Time of the last memory-visible access (AMP-LRU selection). */
     SimTime lastAccess() const { return lastAccess_; }
@@ -190,27 +219,44 @@ class Page
     void resetAccessCount() { accessCount_ = 0; }
 
   private:
+    // One bit per boolean page/PTE state, kernel page->flags style.
+    static constexpr std::uint16_t kAnon          = 1u << 0;
+    static constexpr std::uint16_t kReferenced    = 1u << 1;
+    static constexpr std::uint16_t kActive        = 1u << 2;
+    static constexpr std::uint16_t kPromote       = 1u << 3;
+    static constexpr std::uint16_t kDirty         = 1u << 4;
+    static constexpr std::uint16_t kUnevictable   = 1u << 5;
+    static constexpr std::uint16_t kLocked        = 1u << 6;
+    static constexpr std::uint16_t kPteReferenced = 1u << 7;
+    static constexpr std::uint16_t kPteDirty      = 1u << 8;
+    static constexpr std::uint16_t kHintPoisoned  = 1u << 9;
+    static constexpr std::uint16_t kHintSinceScan = 1u << 10;
+
+    bool flag(std::uint16_t bit) const { return (flags_ & bit) != 0; }
+
+    void
+    setFlag(std::uint16_t bit, bool v)
+    {
+        if (v)
+            flags_ |= bit;
+        else
+            flags_ &= static_cast<std::uint16_t>(~bit);
+    }
+
+    // Hot per-access fields first (placement, flags, stamps), policy
+    // scratch after, identity last.
     AddressSpace *space_;
     PageNum vpn_;
-    NodeId node_ = kInvalidNode;
     Paddr paddr_ = 0;
-    LruListKind list_ = LruListKind::None;
-    std::uint64_t promotedEpoch_ = 0;
-    std::uint64_t accessCount_ = 0;
-    SimTime lastHintFault_ = 0;
+    std::uint64_t llcLines_ = 0;
     SimTime lastAccess_ = 0;
-    bool hintFaultedSinceScan_ = false;
+    std::uint64_t accessCount_ = 0;
+    std::uint64_t promotedEpoch_ = 0;
+    SimTime lastHintFault_ = 0;
+    NodeId node_ = kInvalidNode;
+    std::uint16_t flags_;
+    LruListKind list_ = LruListKind::None;
     std::uint8_t history_ = 0;
-    bool anon_;
-    bool referenced_ = false;
-    bool active_ = false;
-    bool promote_ = false;
-    bool dirty_ = false;
-    bool unevictable_ = false;
-    bool locked_ = false;
-    bool pteReferenced_ = false;
-    bool pteDirty_ = false;
-    bool hintPoisoned_ = false;
 };
 
 }  // namespace mclock

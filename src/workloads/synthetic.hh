@@ -64,6 +64,14 @@ struct SyntheticConfig
     SimTime step = 20_ms;      ///< generator time step
     SimTime cpuPerStep = 5_us; ///< think time per step
     std::uint64_t seed = 3;
+    /**
+     * Stream each generator step's accesses as one batched
+     * Simulator::stream() call (identical semantics; see
+     * KvStoreConfig::batchAccesses). Ignored — the legacy per-access
+     * path is used — when a trace is being recorded, because tracing
+     * needs the simulated clock after every access. Default on.
+     */
+    bool batchAccesses = true;
 };
 
 /** Drives a synthetic profile through a simulator, optionally tracing. */

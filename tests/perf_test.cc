@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Equivalence suite for the hot-path overhaul: the batched/streamed
+ * workload access path (KvStore/YCSB/synthetic MemOp batching, SoA
+ * cache model, per-page LLC line masks) must be bit-identical to the
+ * legacy one-call-per-access path. Every pair below compares complete
+ * scenario outputs — summary metrics, rendered text, and artifacts
+ * (which include the vmstat snapshots) — between the default batched
+ * run and a run with the "legacy_access" context param set, at both
+ * --jobs 1 and --jobs 4.
+ *
+ * The golden fixtures pin today's behaviour against yesterday's; these
+ * tests pin the fast path against the reference path at head, so a
+ * future optimisation that breaks equivalence fails even if the golden
+ * fixtures are regenerated in the same change.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/golden.hh"
+#include "harness/profiles.hh"
+#include "harness/runner.hh"
+
+using namespace mclock;
+using namespace mclock::harness;
+
+namespace {
+
+/** Golden-profile context with a small op count: fast but nontrivial. */
+RunContext
+smallContext()
+{
+    RunContext ctx = goldenContext();
+    ctx.params["ops"] = 20000;
+    ctx.params["seconds"] = 6;
+    ctx.params["trials"] = 1;
+    return ctx;
+}
+
+RunContext
+legacyContext()
+{
+    RunContext ctx = smallContext();
+    ctx.params["legacy_access"] = 1;
+    return ctx;
+}
+
+RunnerOptions
+quietOptions(unsigned jobs, const RunContext &ctx)
+{
+    RunnerOptions opts;
+    opts.jobs = jobs;
+    opts.quiet = true;
+    opts.writeArtifacts = false;
+    opts.context = ctx;
+    return opts;
+}
+
+void
+expectIdentical(const ScenarioOutput &a, const ScenarioOutput &b)
+{
+    EXPECT_EQ(a.text, b.text);
+    EXPECT_EQ(a.summary, b.summary);
+    ASSERT_EQ(a.artifacts.size(), b.artifacts.size());
+    for (std::size_t i = 0; i < a.artifacts.size(); ++i) {
+        EXPECT_EQ(a.artifacts[i].filename, b.artifacts[i].filename);
+        EXPECT_EQ(a.artifacts[i].contents, b.artifacts[i].contents);
+    }
+    EXPECT_TRUE(a.violations.empty());
+    EXPECT_TRUE(b.violations.empty());
+}
+
+class AccessPathEquivalence
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(AccessPathEquivalence, BatchedMatchesLegacySerial)
+{
+    const std::string name = GetParam();
+    const auto batched =
+        runScenario(name, quietOptions(1, smallContext()));
+    const auto legacy =
+        runScenario(name, quietOptions(1, legacyContext()));
+    expectIdentical(batched.output, legacy.output);
+    EXPECT_FALSE(batched.output.summary.empty());
+}
+
+TEST_P(AccessPathEquivalence, BatchedMatchesLegacyParallel)
+{
+    const std::string name = GetParam();
+    const auto batched =
+        runScenario(name, quietOptions(4, smallContext()));
+    const auto legacy =
+        runScenario(name, quietOptions(4, legacyContext()));
+    expectIdentical(batched.output, legacy.output);
+}
+
+// fig05: two-tier YCSB across all tiered policies (KvStore batching,
+// MRU/SoA cache, line masks on migration). fig08: windowed promotion
+// metrics (exercises the cached-window Metrics fast path). tier3:
+// rank-ordered three-tier machine. faultinj: migration fault
+// injection, whose abort/rollback paths interleave with invalidation.
+// fig01: synthetic workload batching under tracing-free runs.
+INSTANTIATE_TEST_SUITE_P(HotScenarios, AccessPathEquivalence,
+                         ::testing::Values("fig05", "fig08",
+                                           "tier3_ycsb_a",
+                                           "faultinj_ycsb_a", "fig01"),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });
+
+}  // namespace
