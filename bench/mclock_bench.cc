@@ -44,6 +44,11 @@ usage(const char *prog)
         "execution:\n"
         "  --jobs N          worker threads (default 1; 0 = all "
         "cores)\n"
+        "  --shards N        worker threads for sharded scenarios "
+        "(the\n"
+        "                    shard_bigmem family; default 1). Pure\n"
+        "                    execution width: results are bit-identical\n"
+        "                    for any N\n"
         "  --out DIR         artifact/manifest directory (default .)\n"
         "  --seed N          base seed (default %llu; the default "
         "reproduces\n"
@@ -72,12 +77,15 @@ usage(const char *prog)
         "each\n"
         "                    --repeat times (after --warmup discarded\n"
         "                    runs), report host ops/sec and simulated\n"
-        "                    accesses/sec, write --bench-out\n"
+        "                    accesses/sec, write --bench-out. Forces\n"
+        "                    --jobs 1 (scenarios must not compete for\n"
+        "                    cores while being timed; sharded scenarios\n"
+        "                    still thread internally per --shards)\n"
         "  --repeat N        measured repeats per scenario (default "
         "3)\n"
         "  --warmup K        discarded warmup runs per scenario "
         "(default 1)\n"
-        "  --bench-out FILE  report path (default <out>/BENCH_7.json)"
+        "  --bench-out FILE  report path (default <out>/BENCH_8.json)"
         "\n"
         "  --bench-baseline FILE\n"
         "                    recorded baseline to embed and compute\n"
@@ -120,11 +128,12 @@ parseParam(const char *text, RunContext &ctx)
 /** Run the golden suite; update or verify fixtures. Returns exit code. */
 int
 goldenPass(const std::string &dir, const std::string &filter,
-           unsigned jobs, bool update)
+           unsigned jobs, unsigned shards, bool update)
 {
     RunnerOptions opts;
     opts.jobs = jobs;
     opts.context = goldenContext();
+    opts.context.shards = shards;
     opts.writeArtifacts = false;
     opts.quiet = true;
 
@@ -220,6 +229,11 @@ main(int argc, char **argv)
         } else if (arg == "--jobs") {
             jobs = static_cast<unsigned>(
                 std::strtoul(operand("--jobs"), nullptr, 10));
+        } else if (arg == "--shards") {
+            ctx.shards = static_cast<unsigned>(
+                std::strtoul(operand("--shards"), nullptr, 10));
+            if (ctx.shards == 0)
+                ctx.shards = 1;
         } else if (arg == "--out") {
             outDir = operand("--out");
         } else if (arg == "--seed") {
@@ -278,7 +292,8 @@ main(int argc, char **argv)
         return 0;
     }
     if (updateGolden || checkGolden)
-        return goldenPass(goldenDir, filter, jobs, updateGolden);
+        return goldenPass(goldenDir, filter, jobs, ctx.shards,
+                          updateGolden);
 
     const auto selected = filterScenarios(filter);
     if (selected.empty()) {
@@ -300,7 +315,7 @@ main(int argc, char **argv)
         const Json doc = benchReportToJson(report, bo);
 
         if (benchOut.empty()) {
-            benchOut = (std::filesystem::path(outDir) / "BENCH_7.json")
+            benchOut = (std::filesystem::path(outDir) / "BENCH_8.json")
                            .string();
         }
         std::error_code ec;

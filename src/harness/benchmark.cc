@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <numeric>
 #include <sstream>
@@ -81,10 +82,23 @@ runBenchmark(const std::vector<const Scenario *> &scenarios,
     BenchReport report;
     report.repeat = std::max(1u, opts.repeat);
     report.warmup = opts.warmup;
-    report.jobs = opts.jobs;
+
+    // Timing windows must not be contended by other scenarios' units:
+    // anything but one harness worker is downgraded, loudly. Sharded
+    // scenarios still thread internally (context.shards) — one
+    // scenario at a time, that parallelism *is* the measurement.
+    unsigned jobs = opts.jobs;
+    if (jobs != 1) {
+        std::fprintf(stderr,
+                     "bench: --jobs %u downgraded to 1 (benchmark "
+                     "repeats are timed one scenario at a time)\n",
+                     jobs);
+        jobs = 1;
+    }
+    report.jobs = jobs;
 
     RunnerOptions ro;
-    ro.jobs = opts.jobs;
+    ro.jobs = jobs;
     ro.writeArtifacts = false;
     ro.writeManifest = false;
     ro.quiet = true;
@@ -175,6 +189,7 @@ benchReportToJson(const BenchReport &report, const BenchOptions &opts)
     doc.set("golden_profile", Json(opts.context.golden));
     doc.set("seed", static_cast<double>(opts.context.seed));
     doc.set("jobs", static_cast<double>(report.jobs));
+    doc.set("shards", static_cast<double>(opts.context.shards));
     doc.set("repeat", static_cast<double>(report.repeat));
     doc.set("warmup", static_cast<double>(report.warmup));
     doc.set("scenarios", std::move(scenarios));
@@ -189,9 +204,19 @@ benchReportToJson(const BenchReport &report, const BenchOptions &opts)
             double baseSum = 0.0, measuredSum = 0.0;
             for (const auto &s : report.scenarios) {
                 const Json &b = baseline["scenarios"][s.name];
-                if (!b.isNumber())
+                // Standalone baselines map name -> seconds; full
+                // reports (a previous BENCH_<n>.json used directly)
+                // map name -> {"best_seconds": ...}.
+                double baseBest = 0.0;
+                if (b.isNumber()) {
+                    baseBest = b.asNumber();
+                } else if (b.isObject() &&
+                           b["best_seconds"].isNumber()) {
+                    baseBest = b["best_seconds"].asNumber();
+                }
+                if (baseBest <= 0.0)
                     continue;
-                baseSum += b.asNumber();
+                baseSum += baseBest;
                 measuredSum += s.bestSeconds();
             }
             doc.set("baseline", std::move(baseline));

@@ -35,8 +35,16 @@ struct BenchOptions
 {
     unsigned repeat = 3;  ///< measured repeats per scenario (>= 1)
     unsigned warmup = 1;  ///< discarded warmup repeats per scenario
-    unsigned jobs = 1;    ///< worker threads inside each repeat
-    std::string benchId = "BENCH_7";  ///< document id ("BENCH_<pr>")
+    /**
+     * Worker threads inside each repeat. Benchmark timing requires 1
+     * (scenarios must not compete for cores inside a timed window);
+     * runBenchmark() warns and downgrades any other value. Sharded
+     * scenarios still thread internally per context.shards — that is
+     * the measured quantity, not a timing hazard, because each repeat
+     * runs exactly one scenario.
+     */
+    unsigned jobs = 1;
+    std::string benchId = "BENCH_8";  ///< document id ("BENCH_<pr>")
     /**
      * Optional path to a recorded baseline (the "baseline" object of a
      * previous report, or a standalone {"label", "total_seconds",

@@ -158,6 +158,9 @@ writeManifest(const RunReport &report, const RunnerOptions &opts)
     manifest.set("seed", static_cast<double>(opts.context.seed));
     manifest.set("golden_profile", Json(opts.context.golden));
     manifest.set("jobs", static_cast<double>(opts.jobs));
+    // Worker threads for sharded scenarios. Execution width only —
+    // excluded from config_hash because results do not depend on it.
+    manifest.set("shards", static_cast<double>(opts.context.shards));
     manifest.set("wall_seconds", report.wallSeconds);
     manifest.set("scenarios", std::move(scenarios));
 

@@ -69,6 +69,7 @@ allScenarios()
         add({ycsb.begin() + 4, ycsb.end()});  // ablations
         add(makeTier3Scenarios());            // tier3_* (three-tier)
         add(makeFaultinjScenarios());         // faultinj_* (fault sweep)
+        add(makeShardScenarios());            // shard_bigmem family
         all.push_back(makeMicroScenario());
         return all;
     }();

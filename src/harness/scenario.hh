@@ -53,6 +53,14 @@ struct RunContext
      */
     bool stats = false;
 
+    /**
+     * Worker threads available to scenarios that run a sharded machine
+     * (--shards). Execution width only: a scenario's shard partition
+     * count is fixed scenario data, so results are identical for any
+     * value here — 1 (the default) runs the shards sequentially.
+     */
+    unsigned shards = 1;
+
     /** Named overrides from the CLI (--ops, --param k=v, ...). */
     std::map<std::string, std::uint64_t> params;
 

@@ -97,6 +97,7 @@ std::vector<Scenario> makeYcsbScenarios();    // fig05/08/09/10 + ablations
 std::vector<Scenario> makeGapbsScenarios();   // fig06, fig07
 std::vector<Scenario> makeTier3Scenarios();   // tier3_* (DRAM/CXL/PM)
 std::vector<Scenario> makeFaultinjScenarios();  // faultinj_* (fault sweep)
+std::vector<Scenario> makeShardScenarios();   // shard_bigmem family
 Scenario makeMicroScenario();                 // micro_structures
 
 }  // namespace harness

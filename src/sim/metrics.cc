@@ -1,5 +1,7 @@
 #include "sim/metrics.hh"
 
+#include "base/logging.hh"
+
 namespace mclock {
 namespace sim {
 
@@ -72,6 +74,43 @@ Metrics::maybeRecordReaccess(SimTime now, Page *page)
         ++totalReaccessed_;
     }
     page->setPromotedEpoch(0);
+}
+
+void
+Metrics::mergeFrom(const Metrics &other)
+{
+    MCLOCK_ASSERT(windowLen_ == other.windowLen_);
+    if (windows_.size() < other.windows_.size())
+        windows_.resize(other.windows_.size());
+    // Resizing may have invalidated the cached current-window bounds.
+    curWinEnd_ = 0;
+    for (std::size_t i = 0; i < other.windows_.size(); ++i) {
+        auto &dst = windows_[i];
+        const auto &src = other.windows_[i];
+        dst.accesses += src.accesses;
+        dst.llcHits += src.llcHits;
+        dst.promotions += src.promotions;
+        dst.demotions += src.demotions;
+        dst.promotedReaccessed += src.promotedReaccessed;
+        if (dst.tierAccesses.size() < src.tierAccesses.size())
+            dst.tierAccesses.resize(src.tierAccesses.size());
+        for (std::size_t t = 0; t < src.tierAccesses.size(); ++t)
+            dst.tierAccesses[t] += src.tierAccesses[t];
+    }
+    totalAccesses_ += other.totalAccesses_;
+    totalPromotions_ += other.totalPromotions_;
+    totalDemotions_ += other.totalDemotions_;
+    totalReaccessed_ += other.totalReaccessed_;
+    if (tierAccessTotals_.size() < other.tierAccessTotals_.size())
+        tierAccessTotals_.resize(other.tierAccessTotals_.size());
+    for (std::size_t t = 0; t < other.tierAccessTotals_.size(); ++t)
+        tierAccessTotals_[t] += other.tierAccessTotals_[t];
+    if (tierLatencyTotals_.size() < other.tierLatencyTotals_.size())
+        tierLatencyTotals_.resize(other.tierLatencyTotals_.size());
+    for (std::size_t t = 0; t < other.tierLatencyTotals_.size(); ++t)
+        tierLatencyTotals_[t] += other.tierLatencyTotals_[t];
+    for (const auto &[name, value] : other.stats_.all())
+        stats_.inc(name, value);
 }
 
 }  // namespace sim

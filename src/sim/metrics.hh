@@ -125,6 +125,16 @@ class Metrics
     StatRegistry &stats() { return stats_; }
     const StatRegistry &stats() const { return stats_; }
 
+    /**
+     * Accumulate @p other into this instance: windows add index-wise
+     * (both sides bucket simulated time with the same window length),
+     * totals and per-tier counters add element-wise, named stats add by
+     * key. The reduction is commutative, so the sharded runtime's
+     * merged view is identical for any worker count. Panics if the
+     * window lengths differ.
+     */
+    void mergeFrom(const Metrics &other);
+
   private:
     /**
      * Window for time @p now. The simulated clock is monotonic, so

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Cross-shard event records and the per-shard ordered event log.
+ *
+ * A sharded machine runs S sub-simulators in parallel between epoch
+ * barriers. Anything one shard does that the coordinator must observe
+ * (completed promotions, demotions, exchanges) is appended to the
+ * shard's own log — single-writer, no locking — and drained at the
+ * barrier, where the coordinator k-way merges all logs by *seniority*:
+ *
+ *     (sim_time, shard_id, seq)
+ *
+ * Simulated time orders events first; the shard id breaks wall-clock
+ * ties between shards, and the per-shard monotonic sequence number
+ * breaks same-time ties within one shard (append order). The merged
+ * stream is therefore a pure function of each shard's deterministic
+ * execution — independent of how many worker threads ran the epoch —
+ * which is what makes `--shards 1` and `--shards 8` bit-identical.
+ */
+
+#ifndef MCLOCK_SIM_SHARD_EVENT_HH_
+#define MCLOCK_SIM_SHARD_EVENT_HH_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace mclock {
+namespace sim {
+
+/** What a shard reports across the epoch barrier. */
+enum class ShardEventKind : std::uint8_t {
+    Promote,   ///< page migrated one tier up (vpn, arg = dst node)
+    Demote,    ///< page migrated one tier down (vpn, arg = dst node)
+    Exchange,  ///< two-sided tiered exchange (vpn = hot, arg = cold vpn)
+};
+
+/** One cross-shard event, stamped for seniority ordering. */
+struct ShardEvent
+{
+    SimTime time = 0;         ///< shard-local simulated time
+    std::uint32_t shard = 0;  ///< originating shard
+    std::uint64_t seq = 0;    ///< per-shard append counter
+    ShardEventKind kind = ShardEventKind::Promote;
+    std::uint64_t vpn = 0;    ///< shard-local vpn of the moved page
+    std::uint64_t arg = 0;    ///< kind-specific (see ShardEventKind)
+};
+
+/** Strict-weak seniority order: (time, shard, seq). */
+inline bool
+shardEventSenior(const ShardEvent &a, const ShardEvent &b)
+{
+    if (a.time != b.time)
+        return a.time < b.time;
+    if (a.shard != b.shard)
+        return a.shard < b.shard;
+    return a.seq < b.seq;
+}
+
+/**
+ * Append-only event log owned by one shard. The owning sub-simulator
+ * appends from its worker thread; the coordinator drains at the epoch
+ * barrier (never concurrently — the barrier is the handoff point).
+ * The sequence counter is monotonic across the whole run, not per
+ * epoch, so replaying merged epochs back to back yields one totally
+ * ordered stream.
+ */
+class ShardEventLog
+{
+  public:
+    ShardEventLog() = default;
+
+    void bind(std::uint32_t shard) { shard_ = shard; }
+
+    std::uint32_t shard() const { return shard_; }
+
+    void
+    append(ShardEventKind kind, SimTime time, std::uint64_t vpn,
+           std::uint64_t arg)
+    {
+        buf_.push_back({time, shard_, seq_++, kind, vpn, arg});
+    }
+
+    std::size_t size() const { return buf_.size(); }
+
+    /** Hand the epoch's events to the coordinator and reset the log. */
+    std::vector<ShardEvent>
+    drain()
+    {
+        std::vector<ShardEvent> out;
+        out.swap(buf_);
+        return out;
+    }
+
+  private:
+    std::uint32_t shard_ = 0;
+    std::uint64_t seq_ = 0;
+    std::vector<ShardEvent> buf_;
+};
+
+}  // namespace sim
+}  // namespace mclock
+
+#endif  // MCLOCK_SIM_SHARD_EVENT_HH_

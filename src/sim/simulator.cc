@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "sim/shard_event.hh"
 #include "vm/page.hh"
 
 namespace mclock {
@@ -273,9 +274,17 @@ Simulator::migrateOnce(Page *page, NodeId dst, ChargeMode mode)
         metrics_.recordPromotion(now_, page);
         // Kernel convention: pgpromote_success lands on the target node.
         vmstat_.add(stats::VmItem::PgpromoteSuccess, dst);
+        if (shardLog_) {
+            shardLog_->append(ShardEventKind::Promote, now_, page->vpn(),
+                              static_cast<std::uint64_t>(dst));
+        }
     } else if (dstTier > srcTier) {
         metrics_.recordDemotion(now_);
         vmstat_.add(stats::VmItem::Pgdemote, srcNode);
+        if (shardLog_) {
+            shardLog_->append(ShardEventKind::Demote, now_, page->vpn(),
+                              static_cast<std::uint64_t>(dst));
+        }
     }
     trace_.record(stats::TraceEventType::MigrationComplete, srcNode,
                   page->vpn(), static_cast<std::uint64_t>(dst));
@@ -286,6 +295,15 @@ bool
 Simulator::migratePage(Page *page, NodeId dst, ChargeMode mode)
 {
     return migrateOnce(page, dst, mode).ok();
+}
+
+void
+Simulator::beginShardEpoch(std::uint64_t epoch, std::uint64_t grant)
+{
+    promoteBudget_ = grant;
+    vmstat_.add(stats::VmItem::ShardEpoch);
+    trace_.record(stats::TraceEventType::ShardEpoch, kInvalidNode, epoch,
+                  grant == kUnlimitedPromoteBudget ? 0 : grant);
 }
 
 bool
@@ -331,6 +349,12 @@ Simulator::promotePage(Page *page, ChargeMode mode)
     const NodeId srcNode = page->node();
     if (promotionThrottled(srcNode))
         return false;
+    if (promoteBudget_ == 0) {
+        // Epoch promotion budget exhausted: defer until the next grant
+        // (sharded coordination; see setEpochPromoteBudget).
+        vmstat_.add(stats::VmItem::PgpromoteDeferred, srcNode);
+        return false;
+    }
     const unsigned maxAttempts =
         faults_.enabled() ? cfg_.faults.maxRetries + 1 : 1;
     for (unsigned attempt = 0; attempt < maxAttempts; ++attempt) {
@@ -345,6 +369,8 @@ Simulator::promotePage(Page *page, ChargeMode mode)
         const MigrateResult r = migrateOnce(page, dst, mode);
         if (r.ok()) {
             notePromoteSuccess(srcNode);
+            if (promoteBudget_ != kUnlimitedPromoteBudget)
+                --promoteBudget_;
             return true;
         }
         const bool retryable =
@@ -434,6 +460,11 @@ Simulator::exchangePages(Page *hot, Page *cold, ChargeMode mode)
         vmstat_.add(stats::VmItem::PgpromoteSuccess, upperNode);
         metrics_.recordDemotion(now_);
         vmstat_.add(stats::VmItem::Pgdemote, upperNode);
+        if (shardLog_) {
+            Page *downPage = upPage == hot ? cold : hot;
+            shardLog_->append(ShardEventKind::Exchange, now_,
+                              upPage->vpn(), downPage->vpn());
+        }
     }
     trace_.record(stats::TraceEventType::MigrationComplete, hotNode,
                   hot->vpn(), static_cast<std::uint64_t>(coldNode));

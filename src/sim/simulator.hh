@@ -42,6 +42,8 @@
 namespace mclock {
 namespace sim {
 
+class ShardEventLog;
+
 /** One simulated host running one application under one policy. */
 class Simulator
 {
@@ -237,6 +239,45 @@ class Simulator
 
     MigrationEngine &migrationEngine() { return migration_; }
 
+    // --- Sharded execution hooks -----------------------------------------
+    // A sharded machine (sim/sharded.hh) runs this host as one shard of
+    // a partitioned address space. Both hooks are inert by default:
+    // with no log bound and an unlimited budget, behaviour is
+    // bit-identical to a standalone host.
+
+    /** Sentinel: no per-epoch promotion budget (the default). */
+    static constexpr std::uint64_t kUnlimitedPromoteBudget = ~0ull;
+
+    /**
+     * Bind the ordered event log this host reports cross-shard events
+     * (completed promotions/demotions/exchanges) into. Pass nullptr to
+     * detach. Observation-only: emitting events charges no simulated
+     * time and changes no simulation state.
+     */
+    void bindShardLog(ShardEventLog *log) { shardLog_ = log; }
+
+    /**
+     * Install the promotion budget for the coming epoch. Once the
+     * budget reaches zero, promotePage() defers instead of migrating
+     * (counted as `pgpromote_deferred`) until the next grant. Applies
+     * to promotePage() only — Nimble's two-sided exchanges are paired
+     * moves and stay budget-exempt. kUnlimitedPromoteBudget disables
+     * the governor entirely (no counter, no behaviour change).
+     */
+    void setEpochPromoteBudget(std::uint64_t n) { promoteBudget_ = n; }
+
+    /** Remaining budget (kUnlimitedPromoteBudget when ungoverned). */
+    std::uint64_t epochPromoteBudget() const { return promoteBudget_; }
+
+    /**
+     * Mark the start of shard epoch @p epoch: installs @p grant as the
+     * promotion budget and records the `shard_epoch` counter and
+     * tracepoint. Called by the sharded coordinator on the shard's
+     * worker thread, before the epoch's operations stream in.
+     */
+    void beginShardEpoch(std::uint64_t epoch,
+                         std::uint64_t grant = kUnlimitedPromoteBudget);
+
     /** Deterministic migration-fault oracle (disabled by default). */
     FaultInjector &faultInjector() { return faults_; }
     const FaultInjector &faultInjector() const { return faults_; }
@@ -327,6 +368,10 @@ class Simulator
     std::unique_ptr<policies::TieringPolicy> policy_;
     SimTime now_ = 0;
     bool inPressure_ = false;
+    /** Cross-shard event sink; nullptr outside sharded machines. */
+    ShardEventLog *shardLog_ = nullptr;
+    /** Promotions allowed before the next epoch grant (see above). */
+    std::uint64_t promoteBudget_ = kUnlimitedPromoteBudget;
 };
 
 }  // namespace sim

@@ -17,6 +17,8 @@ traceEventName(TraceEventType type)
       case TraceEventType::KswapdWake:        return "kswapd_wake";
       case TraceEventType::KpromotedWake:     return "kpromoted_wake";
       case TraceEventType::WatermarkCross:    return "watermark_cross";
+      case TraceEventType::ShardEpoch:        return "shard_epoch";
+      case TraceEventType::ShardMerge:        return "shard_merge";
     }
     return "unknown";
 }

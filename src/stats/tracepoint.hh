@@ -37,6 +37,10 @@ enum class TraceEventType : std::uint8_t {
     KswapdWake,         ///< pressure handler wake: arg0=free frames
     KpromotedWake,      ///< promotion daemon wake: arg0=promote-list size
     WatermarkCross,     ///< free count crossed low mark: arg0=free frames
+    ShardEpoch,         ///< shard epoch begins: arg0=epoch,
+                        ///< arg1=promote budget granted (0 = unlimited)
+    ShardMerge,         ///< epoch merge barrier: arg0=epoch,
+                        ///< arg1=events merged across shards
 };
 
 /** Stable tracepoint name ("migration_start", ...). */

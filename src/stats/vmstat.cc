@@ -33,6 +33,9 @@ vmItemName(VmItem item)
       case VmItem::KswapdWake:        return "kswapd_wake";
       case VmItem::KpromotedWake:     return "kpromoted_wake";
       case VmItem::WatermarkLowCross: return "watermark_low_cross";
+      case VmItem::PgshardMerge:      return "pgshard_merge";
+      case VmItem::ShardEpoch:        return "shard_epoch";
+      case VmItem::PgpromoteDeferred: return "pgpromote_deferred";
       case VmItem::NumItems:          break;
     }
     return "unknown";
@@ -51,6 +54,19 @@ VmStat::nodeSum(VmItem item) const
     for (const auto &node : perNode_)
         sum += node[static_cast<std::size_t>(item)];
     return sum;
+}
+
+void
+VmStat::mergeFrom(const VmStat &other)
+{
+    for (std::size_t i = 0; i < kNumVmItems; ++i)
+        global_[i] += other.global_[i];
+    if (perNode_.size() < other.perNode_.size())
+        perNode_.resize(other.perNode_.size());
+    for (std::size_t n = 0; n < other.perNode_.size(); ++n) {
+        for (std::size_t i = 0; i < kNumVmItems; ++i)
+            perNode_[n][i] += other.perNode_[n][i];
+    }
 }
 
 std::map<std::string, std::uint64_t>

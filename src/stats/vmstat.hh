@@ -61,6 +61,9 @@ enum class VmItem : std::uint8_t {
     KswapdWake,        ///< pressure handler invocations (kswapd wakes)
     KpromotedWake,     ///< promotion daemon invocations
     WatermarkLowCross, ///< node free count newly dipped below low
+    PgshardMerge,      ///< cross-shard events merged at epoch barriers
+    ShardEpoch,        ///< shard epochs executed (per shard + global)
+    PgpromoteDeferred, ///< promotions deferred by an exhausted epoch budget
     NumItems,
 };
 
@@ -113,6 +116,16 @@ class VmStat
 
     /** Sum of the per-node counts for @p item (<= global). */
     std::uint64_t nodeSum(VmItem item) const;
+
+    /**
+     * Accumulate @p other into this instance: global counters add
+     * item-wise; per-node counters add node-wise (grows the node table
+     * if @p other attributes to more nodes). Used by the sharded
+     * runtime to reduce shard-local counters into one merged view —
+     * order-independent by construction, so the reduction is identical
+     * for any worker count.
+     */
+    void mergeFrom(const VmStat &other);
 
     /**
      * Flat snapshot: "pgscan_active" -> global count, plus

@@ -1,0 +1,55 @@
+#include "vm/sharded_address_space.hh"
+
+#include "base/logging.hh"
+
+namespace mclock {
+
+ShardedAddressSpace::ShardedAddressSpace(std::vector<AddressSpace *> spaces)
+    : spaces_(std::move(spaces))
+{
+    MCLOCK_ASSERT(!spaces_.empty());
+    MCLOCK_ASSERT(spaces_.size() <= kMaxShards);
+    for (const AddressSpace *space : spaces_)
+        MCLOCK_ASSERT(space != nullptr);
+}
+
+Vaddr
+ShardedAddressSpace::mmapOn(unsigned s, std::size_t bytes, bool anon,
+                            const std::string &name)
+{
+    MCLOCK_ASSERT(s < spaces_.size());
+    const Vaddr local = spaces_[s]->mmap(bytes, anon, name);
+    // The local bump allocator must stay below the tag bits, or two
+    // shards' addresses would alias.
+    MCLOCK_ASSERT(localVa(local) == local);
+    return globalVa(s, local);
+}
+
+Page *
+ShardedAddressSpace::lookup(PageNum globalVpn) const
+{
+    const unsigned s = shardOfVpn(globalVpn);
+    if (s >= spaces_.size())
+        return nullptr;
+    return spaces_[s]->lookup(localVpn(globalVpn));
+}
+
+const Region *
+ShardedAddressSpace::regionOf(Vaddr va) const
+{
+    const unsigned s = shardOfVa(va);
+    if (s >= spaces_.size())
+        return nullptr;
+    return spaces_[s]->regionOf(localVa(va));
+}
+
+std::size_t
+ShardedAddressSpace::pageCount() const
+{
+    std::size_t total = 0;
+    for (const AddressSpace *space : spaces_)
+        total += space->pageCount();
+    return total;
+}
+
+}  // namespace mclock

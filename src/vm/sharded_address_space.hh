@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Shard-partitioned view over several AddressSpace instances.
+ *
+ * A sharded machine splits one logical address space into S shards,
+ * each owning a disjoint VPN range with its own dense page table and
+ * page arena (an unmodified AddressSpace — allocation, lookup, and
+ * teardown stay shard-local, so shards never contend on vm state).
+ * This class is the routing layer on top: a *global* virtual address
+ * carries its shard id in the high bits, and every routed operation
+ * peels the tag off, forwards the *local* address to the owning shard,
+ * and re-tags results on the way out.
+ *
+ * The tag sits at bit 44, far above any address the shard-local bump
+ * allocator can reach (local spaces grow from 64 KiB upward), so local
+ * and global addresses never collide and shardOfVa() is a single
+ * shift. Routing is pure arithmetic on immutable fields — safe to call
+ * concurrently from shard worker threads.
+ */
+
+#ifndef MCLOCK_VM_SHARDED_ADDRESS_SPACE_HH_
+#define MCLOCK_VM_SHARDED_ADDRESS_SPACE_HH_
+
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "vm/address_space.hh"
+
+namespace mclock {
+
+/** Routing facade over shard-local AddressSpace instances. */
+class ShardedAddressSpace
+{
+  public:
+    /** Bit position of the shard tag inside a global Vaddr/64. */
+    static constexpr unsigned kShardShift = 44;
+
+    /** Shard-tag bit position for a PageNum (vpn = va >> kPageShift). */
+    static constexpr unsigned kShardVpnShift = kShardShift - kPageShift;
+
+    /** Maximum shard count representable in the tag bits. */
+    static constexpr unsigned kMaxShards = 256;
+
+    /** Shard owning a global virtual address. */
+    static constexpr unsigned
+    shardOfVa(Vaddr va)
+    {
+        return static_cast<unsigned>(va >> kShardShift);
+    }
+
+    /** Shard owning a global virtual page number. */
+    static constexpr unsigned
+    shardOfVpn(PageNum vpn)
+    {
+        return static_cast<unsigned>(vpn >> kShardVpnShift);
+    }
+
+    /** Strip the shard tag: the address inside the owning shard. */
+    static constexpr Vaddr
+    localVa(Vaddr globalVa)
+    {
+        return globalVa & ((Vaddr{1} << kShardShift) - 1);
+    }
+
+    /** Local vpn inside the owning shard. */
+    static constexpr PageNum
+    localVpn(PageNum globalVpn)
+    {
+        return globalVpn & ((PageNum{1} << kShardVpnShift) - 1);
+    }
+
+    /** Tag a shard-local address with its owner. */
+    static constexpr Vaddr
+    globalVa(unsigned shard, Vaddr local)
+    {
+        return (static_cast<Vaddr>(shard) << kShardShift) | local;
+    }
+
+    /** Tag a shard-local vpn with its owner. */
+    static constexpr PageNum
+    globalVpn(unsigned shard, PageNum local)
+    {
+        return (static_cast<PageNum>(shard) << kShardVpnShift) | local;
+    }
+
+    /**
+     * Build the facade over @p spaces (one per shard, shard id =
+     * index). The spaces are borrowed, not owned — each shard's
+     * simulator owns its AddressSpace; this object only routes.
+     */
+    explicit ShardedAddressSpace(std::vector<AddressSpace *> spaces);
+
+    unsigned shards() const
+    {
+        return static_cast<unsigned>(spaces_.size());
+    }
+
+    /** The shard-local space behind shard @p s. */
+    AddressSpace &shard(unsigned s) { return *spaces_[s]; }
+    const AddressSpace &shard(unsigned s) const { return *spaces_[s]; }
+
+    /**
+     * Reserve a region on shard @p s; returns the *global* (tagged)
+     * starting address.
+     */
+    Vaddr mmapOn(unsigned s, std::size_t bytes, bool anon = true,
+                 const std::string &name = "anon");
+
+    /** Translate a global vpn to its Page (nullptr if unmapped). */
+    Page *lookup(PageNum globalVpn) const;
+
+    /** Region containing the global address @p va, or nullptr. */
+    const Region *regionOf(Vaddr va) const;
+
+    /** Live pages summed over all shards. */
+    std::size_t pageCount() const;
+
+    /**
+     * Invoke @p fn on every live page, shard 0 first — a deterministic
+     * order regardless of how many workers populated the shards.
+     */
+    template <typename Fn>
+    void
+    forEachPage(Fn &&fn) const
+    {
+        for (const AddressSpace *space : spaces_)
+            space->forEachPage(fn);
+    }
+
+  private:
+    std::vector<AddressSpace *> spaces_;
+};
+
+}  // namespace mclock
+
+#endif  // MCLOCK_VM_SHARDED_ADDRESS_SPACE_HH_

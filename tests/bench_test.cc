@@ -151,6 +151,46 @@ TEST(BenchJsonTest, DocumentSchema)
     EXPECT_EQ(parsed.dump(), doc.dump());
 }
 
+TEST(BenchRunTest, MultiJobRequestDowngradesToOne)
+{
+    // Benchmark repeats are timed one scenario at a time; any --jobs
+    // other than 1 would contend the timing window and is downgraded
+    // (with a warning on stderr) rather than honoured.
+    BenchOptions opts = smallBenchOptions(1, 0);
+    opts.jobs = 4;
+    const auto report = runBenchmark(selectOne("fig02"), opts);
+    EXPECT_EQ(report.jobs, 1u);
+    const Json doc = benchReportToJson(report, opts);
+    EXPECT_EQ(doc["jobs"].asNumber(), 1.0);
+}
+
+TEST(BenchJsonTest, FullReportServesAsBaseline)
+{
+    // A previous BENCH_<n>.json (scenario entries are objects with
+    // "best_seconds") must work directly as --bench-baseline, the way
+    // BENCH_8 builds on BENCH_7.
+    BenchOptions opts = smallBenchOptions(1, 0);
+    const auto report = runBenchmark(selectOne("fig02"), opts);
+    ASSERT_EQ(report.scenarios.size(), 1u);
+    const double best = report.scenarios.front().bestSeconds();
+    ASSERT_GT(best, 0.0);
+
+    Json entry{Json::Object{}};
+    entry.set("best_seconds", best * 4.0);
+    entry.set("mean_seconds", best * 5.0);
+    Json scenarios{Json::Object{}};
+    scenarios.set("fig02", std::move(entry));
+    Json baseline{Json::Object{}};
+    baseline.set("bench_id", "BENCH_PREV");
+    baseline.set("scenarios", std::move(scenarios));
+    opts.baselinePath =
+        writeTempFile("bench_full_report.json", baseline.dump(2));
+
+    const Json doc = benchReportToJson(report, opts);
+    ASSERT_TRUE(doc["speedup_vs_baseline"].isNumber());
+    EXPECT_NEAR(doc["speedup_vs_baseline"].asNumber(), 4.0, 1e-9);
+}
+
 TEST(BenchJsonTest, BaselineEmbeddingAndSpeedup)
 {
     BenchOptions opts = smallBenchOptions(1, 0);

@@ -67,10 +67,10 @@ expectIdentical(const ScenarioOutput &a, const ScenarioOutput &b)
 
 // --- Registry -----------------------------------------------------------
 
-TEST(ScenarioRegistry, ListsAllNineteenExperiments)
+TEST(ScenarioRegistry, ListsAllTwentyThreeExperiments)
 {
     const auto &all = allScenarios();
-    EXPECT_EQ(all.size(), 19u);
+    EXPECT_EQ(all.size(), 23u);
     std::set<std::string> names;
     for (const auto &sc : all)
         names.insert(sc.name);
@@ -80,6 +80,8 @@ TEST(ScenarioRegistry, ListsAllNineteenExperiments)
           "ablation_tracking_cost", "ablation_ratio", "ablation_llc",
           "tier3_ycsb_a", "tier3_ycsb_b", "tier3_pagerank",
           "faultinj_ycsb_a", "faultinj_pagerank",
+          "shard_bigmem", "shard_bigmem_budget", "shard_bigmem_x4",
+          "shard_bigmem_x8",
           "micro_structures"}) {
         EXPECT_TRUE(names.count(expected))
             << "missing scenario " << expected;
@@ -108,13 +110,17 @@ TEST(ScenarioRegistry, FindAndFilter)
 
 TEST(ScenarioRegistry, GoldenEligibilityMatchesDeterminism)
 {
-    // tab01 is static metadata and micro_structures is host-timed;
-    // everything else must be in the golden suite.
+    // tab01 is static metadata, micro_structures is host-timed, and
+    // the shard_bigmem_x* variants only pin a worker width (their
+    // results are identical to shard_bigmem, so fixtures would be
+    // redundant); everything else must be in the golden suite.
     const auto names = goldenScenarioNames();
-    EXPECT_EQ(names.size(), 17u);
+    EXPECT_EQ(names.size(), 19u);
     for (const auto &name : names) {
         EXPECT_NE(name, "tab01");
         EXPECT_NE(name, "micro_structures");
+        EXPECT_NE(name, "shard_bigmem_x4");
+        EXPECT_NE(name, "shard_bigmem_x8");
     }
 }
 
