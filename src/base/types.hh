@@ -54,6 +54,14 @@ struct TierKind
     static constexpr TierRank Pmem = 1;
 };
 
+/**
+ * Memory control group identifier. Id 0 is the root group: pages
+ * charged to it are unaccounted and unconstrained, so a host with no
+ * tenants behaves exactly as if the memcg layer did not exist.
+ */
+using MemCgroupId = std::uint16_t;
+constexpr MemCgroupId kRootMemcg = 0;
+
 inline constexpr PageNum
 pageNumOf(Vaddr va)
 {

@@ -168,6 +168,15 @@ Kpromoted::shrinkPromoteList(sim::Node &node, bool anon, std::size_t budget,
             continue;
         }
 
+        if (!sim_.tenantPromoteAllowed(pg, up)) {
+            // Tenant quota/cap deferral: park like budget exhaustion.
+            // Crucially, do NOT fall into the demote-and-retry path —
+            // an out-of-quota tenant must not force demotions of other
+            // tenants' upper-tier pages.
+            lists.rotateToFront(pg);
+            continue;
+        }
+
         // Transition (13): migrate to the higher tier.
         lists.remove(pg);
         bool ok = sim_.promotePage(pg, sim::Simulator::ChargeMode::Background);

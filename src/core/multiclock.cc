@@ -79,6 +79,19 @@ MultiClockPolicy::onSupervisedAccess(Page *page)
     // Promote list: transition (12) — accessed again, stays put.
 }
 
+pfra::PageFilter
+MultiClockPolicy::lowProtectionFilter(TierRank tier) const
+{
+    // Empty on tenant-free hosts so the common path never pays the
+    // std::function dispatch (and stays bit-identical to pre-memcg).
+    if (!sim_->memcg().active())
+        return {};
+    const MemCgroupManager &mc = sim_->memcg();
+    return [&mc, tier](const Page &pg) {
+        return mc.lowProtected(pg.memcg(), tier);
+    };
+}
+
 void
 MultiClockPolicy::handlePressure(sim::Node &node)
 {
@@ -101,9 +114,11 @@ MultiClockPolicy::handlePressure(sim::Node &node)
     }
 
     // Step 3: demote unreferenced inactive-tail pages one tier down; on
-    // the lowest tier, write back to block storage instead.
+    // the lowest tier, write back to block storage instead. Tenants at
+    // or below their memcg "low" floor are spared on the first pass.
     TierRank down;
     const bool hasLower = mem.lowerTier(node.tier(), down);
+    const pfra::PageFilter spare = lowProtectionFilter(node.tier());
     std::size_t remaining = cfg_.pressureBudget;
     bool progress = true;
     while (!node.aboveHigh() && remaining > 0 && progress) {
@@ -113,8 +128,14 @@ MultiClockPolicy::handlePressure(sim::Node &node)
             const std::size_t chunk = std::min<std::size_t>(remaining, 64);
             if (chunk == 0)
                 break;
-            const auto stats = pfra::collectInactiveCandidates(
-                node.lists(), anon, chunk, victims);
+            auto stats = pfra::collectInactiveCandidates(
+                node.lists(), anon, chunk, victims, spare);
+            if (victims.empty() && spare && stats.rotated > 0) {
+                // Only protected pages at the tail: low is a soft
+                // floor, so it yields rather than stalling reclaim.
+                stats.merge(pfra::collectInactiveCandidates(
+                    node.lists(), anon, chunk, victims));
+            }
             sim_->chargeScan(stats.scanned);
             remaining -= std::min<std::size_t>(
                 remaining, stats.scanned ? stats.scanned : 1);
@@ -142,6 +163,7 @@ MultiClockPolicy::demoteFromTier(TierRank tier, std::size_t target)
     // window are often streaming data that returns next iteration.
     const SimTime idleFloor = cfg_.scanInterval * 2;
     const SimTime now = sim_->now();
+    const pfra::PageFilter spare = lowProtectionFilter(tier);
     std::size_t demoted = 0;
     for (NodeId id : mem.tier(tier)) {
         sim::Node &node = mem.node(id);
@@ -149,8 +171,14 @@ MultiClockPolicy::demoteFromTier(TierRank tier, std::size_t target)
             if (demoted >= target)
                 return demoted;
             std::vector<Page *> victims;
-            const auto stats = pfra::collectInactiveCandidates(
-                node.lists(), anon, (target - demoted) * 2, victims);
+            auto stats = pfra::collectInactiveCandidates(
+                node.lists(), anon, (target - demoted) * 2, victims,
+                spare);
+            if (victims.empty() && spare && stats.rotated > 0) {
+                stats.merge(pfra::collectInactiveCandidates(
+                    node.lists(), anon, (target - demoted) * 2,
+                    victims));
+            }
             sim_->chargeScan(stats.scanned);
             for (Page *pg : victims) {
                 const bool idle =

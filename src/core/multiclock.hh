@@ -27,6 +27,7 @@
 
 #include "base/types.hh"
 #include "base/units.hh"
+#include "pfra/vmscan.hh"
 #include "policies/policy.hh"
 #include "sim/daemon.hh"
 
@@ -101,6 +102,12 @@ class MultiClockPolicy : public policies::TieringPolicy
 
   private:
     friend class Kpromoted;
+
+    /**
+     * Filter sparing pages of tenants at or below their memcg "low"
+     * floor on @p tier; empty (no overhead) on hosts without tenants.
+     */
+    pfra::PageFilter lowProtectionFilter(TierRank tier) const;
 
     MultiClockConfig cfg_;
     std::vector<std::unique_ptr<Kpromoted>> kpromoted_;

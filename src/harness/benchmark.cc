@@ -222,6 +222,17 @@ benchReportToJson(const BenchReport &report, const BenchOptions &opts)
             doc.set("baseline", std::move(baseline));
             if (baseSum > 0.0 && measuredSum > 0.0) {
                 doc.set("speedup_vs_baseline", baseSum / measuredSum);
+            } else {
+                // Empty intersection (renamed/filtered scenarios) or
+                // degenerate timings: an honest ratio does not exist.
+                // Emit an explicit null — never NaN/inf, and never a
+                // silently missing key a dashboard would misread as
+                // "no baseline configured".
+                doc.set("speedup_vs_baseline", Json());
+                MCLOCK_WARN(
+                    "bench baseline %s shares no timed scenario with "
+                    "this run; speedup_vs_baseline = null",
+                    opts.baselinePath.c_str());
             }
         }
     }

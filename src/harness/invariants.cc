@@ -3,6 +3,8 @@
 #include <cstdarg>
 #include <cstdint>
 #include <cstdio>
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "pfra/lru_lists.hh"
@@ -11,7 +13,9 @@
 #include "sim/simulator.hh"
 #include "stats/vmstat.hh"
 #include "vm/address_space.hh"
+#include "vm/memcg.hh"
 #include "vm/page.hh"
+#include "vm/swap.hh"
 
 #ifdef MCLOCK_DEBUG_VM
 #include "debug/vm_checker.hh"
@@ -337,6 +341,58 @@ collectCounterViolations(sim::Simulator &sim)
                   "tier occupancy sums (%zu/%zu used/total) diverge from "
                   "node totals (%zu/%zu)",
                   bucketUsed, bucketTotal, machineUsed, machineTotal);
+    }
+
+    // Swap-slot conservation: every slot a swap-out ever took is still
+    // occupied, was freed by a page-in, or was released at unmap —
+    // exactly once each. A double-release or a leaked slot (e.g. an
+    // unmap racing a rollback) breaks the identity.
+    const auto &swap = sim.swap();
+    if (!swap.slotsConserved()) {
+        violation(out,
+                  "swap slot conservation: %llu swap-outs != %zu held + "
+                  "%llu freed by page-in + %llu released at unmap",
+                  static_cast<unsigned long long>(swap.swapOuts()),
+                  swap.usedSlots(),
+                  static_cast<unsigned long long>(swap.slotFrees()),
+                  static_cast<unsigned long long>(swap.slotReleases()));
+    }
+
+    // Tenant demotions are a subset of all demotions, and a tenant page
+    // deferred at the promotion gate was never also counted promoted.
+    if (vm.global(VmItem::PgtenantDemote) > vm.global(VmItem::Pgdemote)) {
+        counterMismatch(out, "pgtenant_demote <= pgdemote",
+                        vm.global(VmItem::PgtenantDemote),
+                        vm.global(VmItem::Pgdemote));
+    }
+
+    // Memcg charge conservation: each tenant's per-tier charge equals
+    // the resident pages the walk actually finds tagged with it. A
+    // drifting charge means a charge/uncharge/transfer hook was missed
+    // on some migration, eviction, or rollback path.
+    if (sim.memcg().active()) {
+        std::map<std::pair<MemCgroupId, TierRank>, std::size_t> walked;
+        sim.space().forEachPage([&](Page *pg) {
+            if (!pg->resident() || pg->memcg() == kRootMemcg)
+                return;
+            const auto &node =
+                mem.node(static_cast<NodeId>(pg->node()));
+            ++walked[{pg->memcg(), node.tier()}];
+        });
+        sim.memcg().forEach([&](const MemCgroup &cg) {
+            for (TierRank rank : mem.tierOrder()) {
+                const std::size_t counted = walked.count({cg.id(), rank})
+                                                ? walked[{cg.id(), rank}]
+                                                : 0;
+                if (cg.charged(rank) != counted) {
+                    violation(out,
+                              "memcg %s charge drift on tier %d: %zu "
+                              "charged but %zu resident pages tagged",
+                              cg.name().c_str(), rank, cg.charged(rank),
+                              counted);
+                }
+            }
+        });
     }
     return out;
 }

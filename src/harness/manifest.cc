@@ -141,6 +141,15 @@ writeManifest(const RunReport &report, const RunnerOptions &opts)
                 vmstat.set(key, static_cast<double>(value));
         }
         entry.set("vmstat", std::move(vmstat));
+        // Per-tenant QoS metrics for multi-tenant scenarios
+        // ("<unit>.<tenant>.<metric>"); omitted when the scenario
+        // created no memory cgroups.
+        if (!r.output.tenantMetrics.empty()) {
+            Json tenants{Json::Object{}};
+            for (const auto &[key, value] : r.output.tenantMetrics)
+                tenants.set(key, value);
+            entry.set("tenants", std::move(tenants));
+        }
         scenarios.push(std::move(entry));
     }
 

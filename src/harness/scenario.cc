@@ -27,6 +27,8 @@ mergeRecords(const std::vector<RunUnit> &units,
             if (key.rfind("node", 0) != 0)
                 out.vmstat[key] += value;
         }
+        for (const auto &[key, value] : rec.tenantMetrics)
+            out.tenantMetrics[prefix + "." + key] = value;
         if (!rec.samplerCsv.empty()) {
             out.statsArtifacts.push_back(
                 {prefix + "_vmstat.csv", rec.samplerCsv});
@@ -70,6 +72,7 @@ allScenarios()
         add(makeTier3Scenarios());            // tier3_* (three-tier)
         add(makeFaultinjScenarios());         // faultinj_* (fault sweep)
         add(makeShardScenarios());            // shard_bigmem family
+        add(makeTenantScenarios());           // tenant_* (memcg QoS)
         all.push_back(makeMicroScenario());
         return all;
     }();

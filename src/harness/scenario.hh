@@ -123,6 +123,15 @@ struct RunRecord
     /** Tracepoint events drained from the ring (stats mode only). */
     std::vector<stats::TraceEvent> traceEvents;
 
+    /**
+     * Per-tenant QoS metrics ("<tenant>.p99_latency_ns" etc.) for hosts
+     * that created memory cgroups; empty on single-tenant hosts. Merged
+     * into the manifest's per-scenario "tenants" object. Kept separate
+     * from @ref metrics so the golden-comparable summary only carries
+     * the values a scenario's reducer promotes deliberately.
+     */
+    MetricMap tenantMetrics;
+
     /** Periodic vmstat time series as CSV (stats mode only). */
     std::string samplerCsv;
 
@@ -167,6 +176,13 @@ struct ScenarioOutput
      * prefixes each filename with the scenario name when writing.
      */
     std::vector<Artifact> statsArtifacts;
+
+    /**
+     * Merged per-tenant metrics, "<unit>.<tenant>.<metric>". Surfaced
+     * as the scenario's "tenants" object in run_manifest.json; not part
+     * of the golden summary.
+     */
+    MetricMap tenantMetrics;
 };
 
 /** One registered experiment. */

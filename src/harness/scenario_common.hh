@@ -98,6 +98,7 @@ std::vector<Scenario> makeGapbsScenarios();   // fig06, fig07
 std::vector<Scenario> makeTier3Scenarios();   // tier3_* (DRAM/CXL/PM)
 std::vector<Scenario> makeFaultinjScenarios();  // faultinj_* (fault sweep)
 std::vector<Scenario> makeShardScenarios();   // shard_bigmem family
+std::vector<Scenario> makeTenantScenarios();  // tenant_* (memcg QoS)
 Scenario makeMicroScenario();                 // micro_structures
 
 }  // namespace harness

@@ -59,7 +59,8 @@ balanceActiveInactive(NodeLists &lists, bool anon, std::size_t nrScan,
 
 ScanStats
 collectInactiveCandidates(NodeLists &lists, bool anon, std::size_t nrScan,
-                          std::vector<Page *> &out)
+                          std::vector<Page *> &out,
+                          const PageFilter &spare)
 {
     ScanStats stats;
     auto &inactive = lists.list(NodeLists::inactiveKind(anon));
@@ -69,7 +70,8 @@ collectInactiveCandidates(NodeLists &lists, bool anon, std::size_t nrScan,
         if (!page)
             break;
         ++stats.scanned;
-        if (page->unevictable() || page->locked()) {
+        if (page->unevictable() || page->locked() ||
+            (spare && spare(*page))) {
             lists.rotateToFront(page);
             ++stats.rotated;
             continue;

@@ -11,6 +11,7 @@
 #define MCLOCK_PFRA_VMSCAN_HH_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "pfra/lru_lists.hh"
@@ -18,6 +19,13 @@
 
 namespace mclock {
 namespace pfra {
+
+/**
+ * Optional page filter for candidate collection: return true to spare
+ * the page (it rotates to the list head instead of being isolated).
+ * Used for memcg soft "low" protection; an empty filter spares nothing.
+ */
+using PageFilter = std::function<bool(const Page &)>;
 
 /** Accounting for one scanning pass; drives simulated scan cost. */
 struct ScanStats
@@ -67,10 +75,14 @@ ScanStats balanceActiveInactive(NodeLists &lists, bool anon,
  * scan advance per CLOCK (unreferenced->referenced stays inactive,
  * referenced->activated). Unreferenced, unlocked pages are isolated
  * (taken off the LRU) and returned for the caller to demote or evict.
+ * Pages @p spare approves of rotate untouched (memcg low protection);
+ * callers re-run without the filter when a protected-only list would
+ * otherwise stall reclaim entirely.
  */
 ScanStats collectInactiveCandidates(NodeLists &lists, bool anon,
                                     std::size_t nrScan,
-                                    std::vector<Page *> &out);
+                                    std::vector<Page *> &out,
+                                    const PageFilter &spare = {});
 
 }  // namespace pfra
 }  // namespace mclock

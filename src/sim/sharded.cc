@@ -52,13 +52,22 @@ shardMachine(const MachineConfig &whole, unsigned shards, unsigned shard)
     MachineConfig cfg = whole;
     if (shards == 1)
         return cfg;
+    // Partition whole pages, handing remainder pages to the
+    // low-numbered shards: summing any node's capacity (or the swap
+    // slots) over all S shards reproduces the whole machine exactly,
+    // instead of silently dropping up to S-1 pages per node to the
+    // floor of bytes/S.
     for (auto &node : cfg.nodes) {
-        std::size_t share = node.bytes / shards;
-        share &= ~(kPageSize - 1);
-        node.bytes = std::max(share, kPageSize);
+        const std::size_t totalPages = node.bytes / kPageSize;
+        std::size_t share =
+            totalPages / shards + (shard < totalPages % shards ? 1 : 0);
+        node.bytes = std::max<std::size_t>(share, 1) * kPageSize;
     }
-    if (cfg.swapPages)
-        cfg.swapPages = std::max<std::size_t>(1, cfg.swapPages / shards);
+    if (cfg.swapPages) {
+        cfg.swapPages = std::max<std::size_t>(
+            1, cfg.swapPages / shards +
+                   (shard < cfg.swapPages % shards ? 1 : 0));
+    }
     cfg.seed = shardSeed(whole.seed, shard);
     return cfg;
 }

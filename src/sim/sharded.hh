@@ -70,10 +70,13 @@ struct ShardOptions
 
 /**
  * Partition @p whole into per-shard machines: node capacities and swap
- * slots divided by @p shards (rounded down to whole pages, floor one
- * page), an independent deterministic seed stream per shard. With
- * shards == 1 the config — seed included — is @p whole itself, so a
- * 1-shard machine is the unpartitioned host, bit for bit.
+ * slots divided by @p shards in whole pages, with the remainder pages
+ * distributed one each to the low-numbered shards (floor one page per
+ * shard) — capacity is conserved: per node, the shard shares sum to
+ * the whole machine exactly. Each shard gets an independent
+ * deterministic seed stream. With shards == 1 the config — seed
+ * included — is @p whole itself, so a 1-shard machine is the
+ * unpartitioned host, bit for bit.
  */
 MachineConfig shardMachine(const MachineConfig &whole, unsigned shards,
                            unsigned shard);

@@ -77,9 +77,10 @@ Simulator::setPolicy(std::unique_ptr<policies::TieringPolicy> policy)
 }
 
 Vaddr
-Simulator::mmap(std::size_t bytes, bool anon, const std::string &name)
+Simulator::mmap(std::size_t bytes, bool anon, const std::string &name,
+                MemCgroupId memcg)
 {
-    return space_.mmap(bytes, anon, name);
+    return space_.mmap(bytes, anon, name, memcg);
 }
 
 void
@@ -99,6 +100,8 @@ Simulator::unmapRegion(Vaddr start)
         if (pg->resident()) {
             if (llc_)
                 llc_->invalidatePage(pg->paddr(), pg->llcLineMask());
+            memcg_.uncharge(pg->memcg(),
+                            nodeTier_[static_cast<std::size_t>(pg->node())]);
             mem_.node(pg->node()).freeFrame(pg->paddr());
             pg->unplace();
         } else {
@@ -270,6 +273,11 @@ Simulator::migrateOnce(Page *page, NodeId dst, ChargeMode mode)
     }
     const TierRank dstTier = mem_.node(dst).tier();
     chargeMigration(cost, mode, cfg_.mem.migrationFixedCost);
+    // The charge moves with the page. Downward transfers always
+    // succeed: pressure relief must work even for an over-cap group,
+    // so only upward placement (promotePage, allocation) is gated.
+    if (dstTier != srcTier)
+        memcg_.transfer(page->memcg(), srcTier, dstTier);
     if (dstTier < srcTier) {
         metrics_.recordPromotion(now_, page);
         // Kernel convention: pgpromote_success lands on the target node.
@@ -281,6 +289,8 @@ Simulator::migrateOnce(Page *page, NodeId dst, ChargeMode mode)
     } else if (dstTier > srcTier) {
         metrics_.recordDemotion(now_);
         vmstat_.add(stats::VmItem::Pgdemote, srcNode);
+        if (page->memcg() != kRootMemcg)
+            vmstat_.add(stats::VmItem::PgtenantDemote, srcNode);
         if (shardLog_) {
             shardLog_->append(ShardEventKind::Demote, now_, page->vpn(),
                               static_cast<std::uint64_t>(dst));
@@ -301,6 +311,10 @@ void
 Simulator::beginShardEpoch(std::uint64_t epoch, std::uint64_t grant)
 {
     promoteBudget_ = grant;
+    // Tenant promotion quotas refill on the same epoch cadence. All
+    // deficit state is per-shard-local, so any worker width replays
+    // the identical grant sequence.
+    memcg_.beginEpoch();
     vmstat_.add(stats::VmItem::ShardEpoch);
     trace_.record(stats::TraceEventType::ShardEpoch, kInvalidNode, epoch,
                   grant == kUnlimitedPromoteBudget ? 0 : grant);
@@ -341,6 +355,18 @@ Simulator::notePromoteAbort(NodeId node)
 }
 
 bool
+Simulator::tenantPromoteAllowed(const Page *page, TierRank dstTier)
+{
+    const MemCgroupId cg = page->memcg();
+    if (cg == kRootMemcg) [[likely]]
+        return true;
+    if (memcg_.withinMax(cg, dstTier) && memcg_.hasPromoteCredit(cg))
+        return true;
+    vmstat_.add(stats::VmItem::PgtenantPromoteDeferred, page->node());
+    return false;
+}
+
+bool
 Simulator::promotePage(Page *page, ChargeMode mode)
 {
     TierRank up;
@@ -355,6 +381,12 @@ Simulator::promotePage(Page *page, ChargeMode mode)
         vmstat_.add(stats::VmItem::PgpromoteDeferred, srcNode);
         return false;
     }
+    // Tenant QoS gate, layered under the shard seniority budget: a
+    // tenant promotion must clear both its per-epoch quota and the
+    // destination tier's hard cap.
+    if (!tenantPromoteAllowed(page, up))
+        return false;
+    const MemCgroupId cg = page->memcg();
     const unsigned maxAttempts =
         faults_.enabled() ? cfg_.faults.maxRetries + 1 : 1;
     for (unsigned attempt = 0; attempt < maxAttempts; ++attempt) {
@@ -371,6 +403,10 @@ Simulator::promotePage(Page *page, ChargeMode mode)
             notePromoteSuccess(srcNode);
             if (promoteBudget_ != kUnlimitedPromoteBudget)
                 --promoteBudget_;
+            // Quota credits, like the shard budget, are spent on
+            // completed promotions only — an aborted migration costs
+            // the tenant nothing.
+            memcg_.consumePromoteCredit(cg);
             return true;
         }
         const bool retryable =
@@ -450,6 +486,15 @@ Simulator::exchangePages(Page *hot, Page *cold, ChargeMode mode)
     // page, upper-tier page); handle the reversed order too.
     if (hotSrc != coldSrc) {
         Page *upPage = hotSrc > coldSrc ? hot : cold;
+        Page *downPage = upPage == hot ? cold : hot;
+        // Both charges move with their page (an exchange is a paired
+        // promote + demote). Like demotion, the transfer is forced:
+        // exchanges stay quota-exempt because the paired demotion
+        // releases exactly the capacity the promotion takes.
+        const TierRank upperRank = std::min(hotSrc, coldSrc);
+        const TierRank lowerRank = std::max(hotSrc, coldSrc);
+        memcg_.transfer(upPage->memcg(), lowerRank, upperRank);
+        memcg_.transfer(downPage->memcg(), upperRank, lowerRank);
         // The promoted page lands on the demoted page's source node
         // (they swapped frames), so one upper-tier node takes both the
         // pgpromote_success (kernel convention: the target node) and
@@ -460,8 +505,9 @@ Simulator::exchangePages(Page *hot, Page *cold, ChargeMode mode)
         vmstat_.add(stats::VmItem::PgpromoteSuccess, upperNode);
         metrics_.recordDemotion(now_);
         vmstat_.add(stats::VmItem::Pgdemote, upperNode);
+        if (downPage->memcg() != kRootMemcg)
+            vmstat_.add(stats::VmItem::PgtenantDemote, upperNode);
         if (shardLog_) {
-            Page *downPage = upPage == hot ? cold : hot;
             shardLog_->append(ShardEventKind::Exchange, now_,
                               upPage->vpn(), downPage->vpn());
         }
@@ -492,6 +538,8 @@ Simulator::evictPage(Page *page)
         chargeBackground(cfg_.mem.swapLatency);
         if (llc_)
             llc_->invalidatePage(page->paddr(), page->llcLineMask());
+        memcg_.uncharge(page->memcg(),
+                        nodeTier_[static_cast<std::size_t>(page->node())]);
         mem_.node(page->node()).freeFrame(page->paddr());
         page->unplace();
         page->setReferenced(false);
@@ -524,6 +572,63 @@ void
 Simulator::runDueDaemons()
 {
     daemons_.runDue(now_);
+}
+
+std::size_t
+Simulator::memcgReclaimTier(MemCgroup &cg, TierRank tier,
+                            std::size_t want)
+{
+    TierRank down;
+    if (!mem_.lowerTier(tier, down))
+        return 0;
+    std::size_t demoted = 0;
+    std::uint64_t scanned = 0;
+    for (NodeId nid : mem_.tier(tier)) {
+        if (demoted >= want)
+            break;
+        auto &lists = mem_.node(nid).lists();
+        for (bool anon : {true, false}) {
+            auto &inactive =
+                lists.list(pfra::NodeLists::inactiveKind(anon));
+            // One CLOCK revolution at most: each tail page is looked
+            // at once, rotating pages of other tenants back to the
+            // head (their LRU order is preserved modulo the rotation).
+            const std::size_t budget = inactive.size();
+            for (std::size_t i = 0;
+                 i < budget && demoted < want; ++i) {
+                Page *pg = inactive.back();
+                if (!pg)
+                    break;
+                ++scanned;
+                if (pg->memcg() != cg.id() || pg->locked() ||
+                    pg->unevictable()) {
+                    lists.rotateToFront(pg);
+                    continue;
+                }
+                pg->testAndClearPteReferenced();
+                pg->setReferenced(false);
+                lists.remove(pg);
+                if (demotePage(pg, ChargeMode::Background)) {
+                    ++demoted;
+                    pg->setActive(false);
+                    mem_.node(pg->node()).lists().add(
+                        pg, pfra::NodeLists::inactiveKind(anon));
+                } else {
+                    // No space below: put the page back untouched.
+                    lists.add(pg,
+                              pfra::NodeLists::inactiveKind(anon));
+                }
+            }
+        }
+    }
+    chargeScan(scanned);
+    if (demoted) {
+        vmstat_.add(stats::VmItem::MemcgLimitReclaim, kInvalidNode,
+                    demoted);
+        trace_.record(stats::TraceEventType::MemcgReclaim, kInvalidNode,
+                      cg.id(), demoted);
+    }
+    return demoted;
 }
 
 void
@@ -559,6 +664,8 @@ Simulator::accessOnePage(Vaddr va, bool write, bool supervised)
     const TierRank tier = nodeTier_[static_cast<std::size_t>(pg->node())];
     metrics_.recordAccess(now_, tier, llcHit);
     if (llcHit) {
+        if (pg->memcg() != kRootMemcg) [[unlikely]]
+            memcg_.recordLatency(pg->memcg(), cfg_.cache.hitLatency);
         now_ += cfg_.cache.hitLatency;
         return;
     }
@@ -583,6 +690,8 @@ Simulator::accessOnePage(Vaddr va, bool write, bool supervised)
         if (ctx.latencyOverridden)
             lat = ctx.latency;
     }
+    if (pg->memcg() != kRootMemcg) [[unlikely]]
+        memcg_.recordLatency(pg->memcg(), lat);
     metrics_.recordMemLatency(tier, lat);
     now_ += lat;
 }
@@ -614,13 +723,40 @@ Simulator::handleSwapIn(Page *page)
 void
 Simulator::allocateFrameFor(Page *page)
 {
+    const MemCgroupId cg = page->memcg();
     for (int attempt = 0; attempt < 3; ++attempt) {
-        const NodeId nid = policy_->selectAllocationNode(*page);
+        NodeId nid = policy_->selectAllocationNode(*page);
+        if (nid != kInvalidNode && cg != kRootMemcg &&
+            !memcg_.withinMax(cg, mem_.node(nid).tier())) {
+            // Hard cap hit on the policy's preferred tier: first try
+            // to demote this tenant's own pages off it, then fall back
+            // to a lower tier where the group still has headroom. If
+            // neither works the page is placed over cap — a fault must
+            // not fail, so the cap gates placement, not progress.
+            const TierRank capped = mem_.node(nid).tier();
+            memcgReclaimTier(*memcg_.find(cg), capped, 1);
+            if (!memcg_.withinMax(cg, capped)) {
+                TierRank down = capped;
+                while (mem_.lowerTier(down, down)) {
+                    if (!memcg_.withinMax(cg, down))
+                        continue;
+                    const NodeId alt =
+                        mem_.pickNodeWithSpace(down, /*respectMin=*/true);
+                    if (alt != kInvalidNode) {
+                        vmstat_.add(stats::VmItem::PgtenantAllocFallback,
+                                    alt);
+                        nid = alt;
+                        break;
+                    }
+                }
+            }
+        }
         if (nid != kInvalidNode) {
             Node &node = mem_.node(nid);
             Paddr pa;
             if (node.allocFrame(pa)) {
                 page->placeOn(nid, pa);
+                memcg_.charge(cg, node.tier());
                 // pgfault_dram counts faults placed on the rank-0
                 // tier; pgfault_pm covers every lower tier.
                 vmstat_.add(node.tier() == 0

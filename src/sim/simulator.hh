@@ -33,6 +33,7 @@
 #include "stats/tracepoint.hh"
 #include "stats/vmstat.hh"
 #include "vm/address_space.hh"
+#include "vm/memcg.hh"
 #include "vm/swap.hh"
 
 #ifdef MCLOCK_DEBUG_VM
@@ -61,9 +62,13 @@ class Simulator
 
     // --- Application-facing API ------------------------------------------
 
-    /** Reserve a region (see AddressSpace::mmap). */
+    /**
+     * Reserve a region (see AddressSpace::mmap). Pages materialised in
+     * it are charged to @p memcg; the default root id is unaccounted.
+     */
     Vaddr mmap(std::size_t bytes, bool anon = true,
-               const std::string &name = "anon");
+               const std::string &name = "anon",
+               MemCgroupId memcg = kRootMemcg);
 
     /** Tear down a region: frees frames, lists entries, and swap slots. */
     void unmapRegion(Vaddr start);
@@ -169,6 +174,14 @@ class Simulator
     SwapDevice &swap() { return swap_; }
     Rng &rng() { return rng_; }
 
+    /**
+     * Memory control groups of this host. Hosts that never create a
+     * tenant pay one predicted branch per hook; behaviour and results
+     * are bit-identical to a host without the layer.
+     */
+    MemCgroupManager &memcg() { return memcg_; }
+    const MemCgroupManager &memcg() const { return memcg_; }
+
     /** LLC filter model, or nullptr when disabled. */
     CacheModel *llc() { return llc_.get(); }
 
@@ -221,6 +234,16 @@ class Simulator
      * aborted promotions). Always false with injection disabled.
      */
     bool promotionThrottled(NodeId node) const;
+
+    /**
+     * Tenant QoS gate for promotions into @p dstTier: true unless the
+     * page's cgroup is out of promotion credit or at its hard cap
+     * there. Denials count `pgtenant_promote_deferred`. Promotion
+     * daemons pre-check with this so a quota-deferred page stays
+     * selected (rotated) instead of triggering demotions on the upper
+     * tier; promotePage() applies the same gate for direct callers.
+     */
+    bool tenantPromoteAllowed(const Page *page, TierRank dstTier);
 
     /** Two-sided exchange of two isolated pages (Nimble). */
     bool exchangePages(Page *hot, Page *cold, ChargeMode mode);
@@ -325,6 +348,16 @@ class Simulator
     void allocateFrameFor(Page *page);
     void runDueDaemons();
 
+    /**
+     * Memcg hard-cap reclaim: demote up to @p want of @p cg's own
+     * pages off @p tier (inactive lists first, CLOCK second chance for
+     * pages of other tenants). Returns the number demoted; best effort
+     * — the allocation path falls back to a lower tier when the cap
+     * still cannot be met.
+     */
+    std::size_t memcgReclaimTier(MemCgroup &cg, TierRank tier,
+                                 std::size_t want);
+
     MachineConfig cfg_;
     MemorySystem mem_;
 #ifdef MCLOCK_DEBUG_VM
@@ -336,6 +369,7 @@ class Simulator
     DaemonScheduler daemons_;
     Metrics metrics_;
     AddressSpace space_;
+    MemCgroupManager memcg_;
     SwapDevice swap_;
     Rng rng_;
     stats::VmStat vmstat_;

@@ -19,6 +19,7 @@ traceEventName(TraceEventType type)
       case TraceEventType::WatermarkCross:    return "watermark_cross";
       case TraceEventType::ShardEpoch:        return "shard_epoch";
       case TraceEventType::ShardMerge:        return "shard_merge";
+      case TraceEventType::MemcgReclaim:      return "memcg_reclaim";
     }
     return "unknown";
 }

@@ -41,6 +41,8 @@ enum class TraceEventType : std::uint8_t {
                         ///< arg1=promote budget granted (0 = unlimited)
     ShardMerge,         ///< epoch merge barrier: arg0=epoch,
                         ///< arg1=events merged across shards
+    MemcgReclaim,       ///< memcg hard-cap reclaim: arg0=cgroup id,
+                        ///< arg1=pages demoted
 };
 
 /** Stable tracepoint name ("migration_start", ...). */

@@ -36,6 +36,12 @@ vmItemName(VmItem item)
       case VmItem::PgshardMerge:      return "pgshard_merge";
       case VmItem::ShardEpoch:        return "shard_epoch";
       case VmItem::PgpromoteDeferred: return "pgpromote_deferred";
+      case VmItem::MemcgLimitReclaim: return "memcg_limit_reclaim";
+      case VmItem::PgtenantPromoteDeferred:
+                                      return "pgtenant_promote_deferred";
+      case VmItem::PgtenantDemote:    return "pgtenant_demote";
+      case VmItem::PgtenantAllocFallback:
+                                      return "pgtenant_alloc_fallback";
       case VmItem::NumItems:          break;
     }
     return "unknown";

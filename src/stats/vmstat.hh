@@ -64,6 +64,10 @@ enum class VmItem : std::uint8_t {
     PgshardMerge,      ///< cross-shard events merged at epoch barriers
     ShardEpoch,        ///< shard epochs executed (per shard + global)
     PgpromoteDeferred, ///< promotions deferred by an exhausted epoch budget
+    MemcgLimitReclaim, ///< pages demoted by memcg hard-cap reclaim
+    PgtenantPromoteDeferred, ///< tenant promotions denied (quota/cap)
+    PgtenantDemote,    ///< demotions of tenant-charged (non-root) pages
+    PgtenantAllocFallback, ///< tenant faults placed on a lower tier (cap)
     NumItems,
 };
 

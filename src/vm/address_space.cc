@@ -7,13 +7,14 @@ namespace mclock {
 AddressSpace::AddressSpace() = default;
 
 Vaddr
-AddressSpace::mmap(std::size_t bytes, bool anon, const std::string &name)
+AddressSpace::mmap(std::size_t bytes, bool anon, const std::string &name,
+                   MemCgroupId memcg)
 {
     MCLOCK_ASSERT(bytes > 0);
     const std::size_t rounded = (bytes + kPageSize - 1) & ~(kPageSize - 1);
     const Vaddr start = nextFree_;
     nextFree_ += rounded;
-    regions_.push_back(Region{start, rounded, anon, name});
+    regions_.push_back(Region{start, rounded, anon, name, memcg});
     const PageNum limit = pageNumOf(nextFree_);
     if (pages_.size() < limit)
         pages_.resize(limit, nullptr);
@@ -41,6 +42,7 @@ AddressSpace::createPage(PageNum vpn)
     const Region *region = regionOf(vpn << kPageShift);
     MCLOCK_ASSERT(region != nullptr);
     pages_[vpn] = arena_.create(this, vpn, region->anon);
+    pages_[vpn]->setMemcg(region->memcg);
     ++livePages_;
     return pages_[vpn];
 }

@@ -35,6 +35,8 @@ struct Region
     std::size_t bytes;
     bool anon;
     std::string name;
+    /** Tenant the region's pages are charged to (root by default). */
+    MemCgroupId memcg = kRootMemcg;
 
     Vaddr end() const { return start + bytes; }
 };
@@ -54,10 +56,12 @@ class AddressSpace
      * @param bytes requested size (rounded up to whole pages)
      * @param anon  true for anonymous memory, false for file-backed
      * @param name  label for diagnostics ("heap", "csr-edges", ...)
+     * @param memcg tenant group the region's pages are charged to
      * @return the starting virtual address
      */
     Vaddr mmap(std::size_t bytes, bool anon = true,
-               const std::string &name = "anon");
+               const std::string &name = "anon",
+               MemCgroupId memcg = kRootMemcg);
 
     /**
      * Release the region starting at @p start. The pages themselves must

@@ -87,6 +87,10 @@ class Page
     /** File-backed vs anonymous mapping (fixed at creation). */
     bool isAnon() const { return flag(kAnon); }
 
+    /** Owning memory control group (inherited from the region). */
+    MemCgroupId memcg() const { return memcg_; }
+    void setMemcg(MemCgroupId id) { memcg_ = id; }
+
     // --- Frame placement -------------------------------------------------
     NodeId node() const { return node_; }
     Paddr paddr() const { return paddr_; }
@@ -254,6 +258,7 @@ class Page
     std::uint64_t promotedEpoch_ = 0;
     SimTime lastHintFault_ = 0;
     NodeId node_ = kInvalidNode;
+    MemCgroupId memcg_ = kRootMemcg;
     std::uint16_t flags_;
     LruListKind list_ = LruListKind::None;
     std::uint8_t history_ = 0;

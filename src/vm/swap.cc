@@ -14,7 +14,12 @@ SwapDevice::pageOut(Page *page)
     }
     ++swapOuts_;
     MCLOCK_ASSERT(hasSpace());
-    slots_.insert(page);
+    const bool fresh = slots_.insert(page).second;
+    // A page swapped out twice without an intervening page-in would
+    // leak its first slot's accounting (double-release on the other
+    // side); trap the corruption at the point it happens.
+    MCLOCK_ASSERT(fresh);
+    (void)fresh;
 }
 
 void
@@ -23,7 +28,10 @@ SwapDevice::pageIn(Page *page)
     ++pageIns_;
     if (!page->isAnon())
         return;
-    slots_.erase(page);
+    // erase() returns how many slots were actually freed (0 or 1); a
+    // page-in of a page that held no slot must not count as one, or
+    // the conservation identity below drifts.
+    slotFrees_ += slots_.erase(page);
 }
 
 void
@@ -31,7 +39,10 @@ SwapDevice::releaseSlot(Page *page)
 {
     if (!page->isAnon())
         return;
-    slots_.erase(page);
+    // Counting erased slots (not calls) makes double-release visible:
+    // usedSlots() == swapOuts() - slotFrees() - slotReleases() holds
+    // only if every slot is freed exactly once.
+    releases_ += slots_.erase(page);
 }
 
 }  // namespace mclock

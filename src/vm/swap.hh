@@ -61,6 +61,24 @@ class SwapDevice
     /** File-backed page-outs only (writebacks to the file). */
     std::uint64_t writebacks() const { return writebacks_; }
 
+    /** Slots freed by anonymous page-ins (slots actually erased). */
+    std::uint64_t slotFrees() const { return slotFrees_; }
+
+    /** Slots freed by releaseSlot (unmap/teardown, no device read). */
+    std::uint64_t slotReleases() const { return releases_; }
+
+    /**
+     * Swap-slot conservation: every slot ever taken by a swap-out is
+     * either still occupied, freed by a page-in, or released at
+     * teardown — exactly once each. A double-release or a leaked slot
+     * breaks the identity.
+     */
+    bool
+    slotsConserved() const
+    {
+        return swapOuts_ == usedSlots() + slotFrees_ + releases_;
+    }
+
   private:
     std::size_t capacity_;
     std::unordered_set<const Page *> slots_;
@@ -68,6 +86,8 @@ class SwapDevice
     std::uint64_t pageIns_ = 0;
     std::uint64_t swapOuts_ = 0;
     std::uint64_t writebacks_ = 0;
+    std::uint64_t slotFrees_ = 0;
+    std::uint64_t releases_ = 0;
 };
 
 }  // namespace mclock

@@ -11,7 +11,8 @@ KvStore::KvStore(sim::Simulator &sim, KvStoreConfig cfg)
     : sim_(sim), cfg_(cfg)
 {
     const std::size_t bytes = cfg_.hashBuckets * sizeof(std::uint64_t);
-    buckets_ = sim_.mmap(bytes, /*anon=*/true, "kv-hashtable");
+    buckets_ = sim_.mmap(bytes, /*anon=*/true, "kv-hashtable",
+                         cfg_.memcg);
     footprint_ += bytes;
 }
 
@@ -45,7 +46,8 @@ KvStore::allocItem(std::size_t bytes)
     if (chunkRemaining_ < bytes) {
         const std::size_t chunk =
             std::max(cfg_.slabChunkBytes, bytes);
-        chunkCursor_ = sim_.mmap(chunk, /*anon=*/true, "kv-slab");
+        chunkCursor_ = sim_.mmap(chunk, /*anon=*/true, "kv-slab",
+                                 cfg_.memcg);
         chunkRemaining_ = chunk;
         footprint_ += chunk;
     }

@@ -50,6 +50,11 @@ struct KvStoreConfig
      * can pin batched == legacy. Default on.
      */
     bool batchAccesses = true;
+    /**
+     * Memory cgroup every region of this store (hash table and slabs)
+     * is charged to. Default root: unaccounted, as before this knob.
+     */
+    MemCgroupId memcg = kRootMemcg;
 };
 
 /** Slab-allocated hash-table KV store issuing simulated accesses. */

@@ -217,7 +217,7 @@ TEST(BenchJsonTest, BaselineEmbeddingAndSpeedup)
                 baseSeconds / best, 1e-9);
 }
 
-TEST(BenchJsonTest, BaselineWithoutOverlapYieldsNoSpeedup)
+TEST(BenchJsonTest, BaselineWithoutOverlapEmitsExplicitNull)
 {
     BenchOptions opts = smallBenchOptions(1, 0);
     const auto report = runBenchmark(selectOne("fig02"), opts);
@@ -231,9 +231,13 @@ TEST(BenchJsonTest, BaselineWithoutOverlapYieldsNoSpeedup)
 
     const Json doc = benchReportToJson(report, opts);
     // The baseline still embeds (it documents what was compared
-    // against), but no like-for-like ratio can be claimed.
+    // against), but no like-for-like ratio can be claimed: the key
+    // must be present as an explicit null — never NaN from a 0/0
+    // division, and never a silently missing key a dashboard would
+    // misread as "no baseline configured".
     EXPECT_TRUE(doc["baseline"].isObject());
-    EXPECT_FALSE(doc.contains("speedup_vs_baseline"));
+    ASSERT_TRUE(doc.contains("speedup_vs_baseline"));
+    EXPECT_TRUE(doc["speedup_vs_baseline"].isNull());
 }
 
 TEST(BenchJsonTest, LoadBaselineRejectsBadDocuments)

@@ -67,10 +67,10 @@ expectIdentical(const ScenarioOutput &a, const ScenarioOutput &b)
 
 // --- Registry -----------------------------------------------------------
 
-TEST(ScenarioRegistry, ListsAllTwentyThreeExperiments)
+TEST(ScenarioRegistry, ListsAllTwentyFiveExperiments)
 {
     const auto &all = allScenarios();
-    EXPECT_EQ(all.size(), 23u);
+    EXPECT_EQ(all.size(), 25u);
     std::set<std::string> names;
     for (const auto &sc : all)
         names.insert(sc.name);
@@ -82,6 +82,7 @@ TEST(ScenarioRegistry, ListsAllTwentyThreeExperiments)
           "faultinj_ycsb_a", "faultinj_pagerank",
           "shard_bigmem", "shard_bigmem_budget", "shard_bigmem_x4",
           "shard_bigmem_x8",
+          "tenant_noisy_neighbor", "tenant_churn",
           "micro_structures"}) {
         EXPECT_TRUE(names.count(expected))
             << "missing scenario " << expected;
@@ -115,7 +116,7 @@ TEST(ScenarioRegistry, GoldenEligibilityMatchesDeterminism)
     // results are identical to shard_bigmem, so fixtures would be
     // redundant); everything else must be in the golden suite.
     const auto names = goldenScenarioNames();
-    EXPECT_EQ(names.size(), 19u);
+    EXPECT_EQ(names.size(), 21u);
     for (const auto &name : names) {
         EXPECT_NE(name, "tab01");
         EXPECT_NE(name, "micro_structures");

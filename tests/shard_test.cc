@@ -173,6 +173,34 @@ TEST(ShardMachineTest, TinyCapacitiesFloorAtOnePage)
     EXPECT_EQ(cfg.swapPages, 1u);
 }
 
+TEST(ShardMachineTest, RemainderPagesConserveCapacity)
+{
+    // 1027 DRAM / 2050 PM pages and 69 swap slots do not divide by 8.
+    // The remainders must go to the low-numbered shards, one page
+    // each, and the shard shares must sum back to the whole machine
+    // exactly — the old floor(bytes/S) partition silently dropped up
+    // to S-1 pages per node.
+    MachineConfig whole;
+    whole.nodes = {{TierKind::Dram, 1027 * kPageSize},
+                   {TierKind::Pmem, 2050 * kPageSize}};
+    whole.swapPages = 69;
+
+    std::size_t dram = 0, pm = 0, swp = 0;
+    for (unsigned s = 0; s < 8; ++s) {
+        const MachineConfig cfg = shardMachine(whole, 8, s);
+        dram += cfg.nodes[0].bytes / kPageSize;
+        pm += cfg.nodes[1].bytes / kPageSize;
+        swp += cfg.swapPages;
+        // 1027 = 8*128 + 3: shards 0-2 carry the extra page.
+        EXPECT_EQ(cfg.nodes[0].bytes / kPageSize, s < 3 ? 129u : 128u);
+        EXPECT_EQ(cfg.nodes[1].bytes / kPageSize, s < 2 ? 257u : 256u);
+        EXPECT_EQ(cfg.swapPages, s < 5 ? 9u : 8u);
+    }
+    EXPECT_EQ(dram, 1027u);
+    EXPECT_EQ(pm, 2050u);
+    EXPECT_EQ(swp, 69u);
+}
+
 // --- Deterministic parallel execution ------------------------------------
 
 /**

@@ -141,7 +141,7 @@ def main():
     # prose backticks (config fields etc.) stay allowed.
     known = set(vm_table.values()) | set(tp_table.values())
     taxonomy_prefixes = ("pgscan_", "pgpromote_", "pgdemote", "pgmigrate_",
-                         "pgshard_", "shard_",
+                         "pgshard_", "shard_", "memcg_", "pgtenant_",
                          "pgsteal", "pgactivate", "pgdeactivate",
                          "pgrotated", "pgfault_", "pghint_", "pswp",
                          "pgwriteback", "pgexchange", "kswapd_wake",
