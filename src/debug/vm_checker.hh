@@ -174,6 +174,8 @@ class VmChecker
     Handler handler_;
     const stats::TraceBuffer *trace_ = nullptr;
     const sim::FaultInjector *faults_ = nullptr;
+    /** Point lookups/erases only — hash order never observed. */
+    // mclock-lint: unordered-iter-ok(never iterated: find/erase only)
     std::unordered_map<const Page *, Shadow> shadow_;
     std::vector<StateHistoryEntry> history_;  ///< overwriting ring
     std::size_t historyCapacity_;

@@ -31,6 +31,7 @@ readFileTrimmed(const std::filesystem::path &path)
 std::string
 isoTimestampUtc()
 {
+    // mclock-lint: wall-clock-ok(manifest provenance stamp; excluded from hashes)
     const auto now = std::chrono::system_clock::now();
     const std::time_t t = std::chrono::system_clock::to_time_t(now);
     std::tm tm{};

@@ -1,17 +1,15 @@
 #include "harness/runner.hh"
 
-#include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 
 #include "base/logging.hh"
+#include "base/sync.hh"
 #include "harness/manifest.hh"
 
 namespace mclock {
@@ -19,7 +17,12 @@ namespace harness {
 
 namespace {
 
-/** Fixed-size pool draining a closed work queue. */
+/**
+ * Fixed-size pool draining a closed work queue. All queue/counter
+ * state is guarded by mu_ and statically checked (base/sync.hh):
+ * every access outside the lock is a compile error under
+ * -Wthread-safety, so the lock scopes below are the whole story.
+ */
 class ThreadPool
 {
   public:
@@ -32,43 +35,44 @@ class ThreadPool
     ~ThreadPool()
     {
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            base::MutexLock lock(mu_);
             closed_ = true;
         }
-        cv_.notify_all();
+        cv_.notifyAll();
         for (auto &t : threads_)
             t.join();
     }
 
     void
-    submit(std::function<void()> task)
+    submit(std::function<void()> task) MCLOCK_EXCLUDES(mu_)
     {
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            base::MutexLock lock(mu_);
             queue_.push(std::move(task));
             ++pending_;
         }
-        cv_.notify_one();
+        cv_.notifyOne();
     }
 
     /** Block until every submitted task has finished. */
     void
-    drain()
+    drain() MCLOCK_EXCLUDES(mu_)
     {
-        std::unique_lock<std::mutex> lock(mu_);
-        done_.wait(lock, [this] { return pending_ == 0; });
+        base::MutexLock lock(mu_);
+        while (pending_ != 0)
+            done_.wait(mu_);
     }
 
   private:
     void
-    workerLoop()
+    workerLoop() MCLOCK_EXCLUDES(mu_)
     {
         for (;;) {
             std::function<void()> task;
             {
-                std::unique_lock<std::mutex> lock(mu_);
-                cv_.wait(lock,
-                         [this] { return closed_ || !queue_.empty(); });
+                base::MutexLock lock(mu_);
+                while (!closed_ && queue_.empty())
+                    cv_.wait(mu_);
                 if (queue_.empty())
                     return;  // closed and drained
                 task = std::move(queue_.front());
@@ -76,25 +80,28 @@ class ThreadPool
             }
             task();
             {
-                std::lock_guard<std::mutex> lock(mu_);
+                base::MutexLock lock(mu_);
                 if (--pending_ == 0)
-                    done_.notify_all();
+                    done_.notifyAll();
             }
         }
     }
 
-    std::mutex mu_;
-    std::condition_variable cv_;
-    std::condition_variable done_;
-    std::queue<std::function<void()>> queue_;
-    std::size_t pending_ = 0;
-    bool closed_ = false;
+    base::Mutex mu_;
+    base::CondVar cv_;    ///< work available (or pool closed)
+    base::CondVar done_;  ///< pending_ hit zero
+    std::queue<std::function<void()>> queue_ MCLOCK_GUARDED_BY(mu_);
+    std::size_t pending_ MCLOCK_GUARDED_BY(mu_) = 0;
+    bool closed_ MCLOCK_GUARDED_BY(mu_) = false;
     std::vector<std::thread> threads_;
 };
 
 double
 secondsSince(std::chrono::steady_clock::time_point start)
 {
+    // Host-time measurement only (wall_seconds in reports); never
+    // feeds simulated state.
+    // mclock-lint: wall-clock-ok(observation-only wall_seconds metric)
     return std::chrono::duration<double>(
                std::chrono::steady_clock::now() - start)
         .count();
@@ -106,6 +113,7 @@ RunReport
 runScenarios(const std::vector<const Scenario *> &scenarios,
              const RunnerOptions &opts)
 {
+    // mclock-lint: wall-clock-ok(observation-only wall_seconds metric)
     const auto runStart = std::chrono::steady_clock::now();
 
     unsigned jobs = opts.jobs;
@@ -135,6 +143,7 @@ runScenarios(const std::vector<const Scenario *> &scenarios,
     {
         ThreadPool pool(jobs);
         for (auto &e : expanded) {
+            // mclock-lint: wall-clock-ok(per-scenario wall_seconds)
             e.start = std::chrono::steady_clock::now();
             for (std::size_t u = 0; u < e.units.size(); ++u) {
                 RunUnit *unit = &e.units[u];

@@ -120,6 +120,8 @@ class FaultInjector
 
     FaultConfig cfg_;
     Rng rng_;
+    /** Membership/size queries only — hash order never observed. */
+    // mclock-lint: unordered-iter-ok(never iterated: count/size only)
     std::unordered_set<PageNum> poisoned_;
     std::uint64_t transactions_ = 0;
     std::uint64_t injected_ = 0;

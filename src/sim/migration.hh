@@ -51,8 +51,12 @@ enum class MigrateOutcome : std::uint8_t {
     Aborted,   ///< a phase failed (injected); rolled back cleanly
 };
 
-/** Result of one migration/exchange transaction. */
-struct MigrateResult
+/**
+ * Result of one migration/exchange transaction. [[nodiscard]]: the
+ * outcome decides whether the caller's page actually moved — a dropped
+ * result means list placement and retry/rollback handling are skipped.
+ */
+struct [[nodiscard]] MigrateResult
 {
     MigrateOutcome outcome = MigrateOutcome::Success;
     /** The failing phase when outcome == Aborted. */

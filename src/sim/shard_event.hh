@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "base/sync.hh"
 #include "base/types.hh"
 
 namespace mclock {
@@ -80,15 +81,25 @@ class ShardEventLog
     append(ShardEventKind kind, SimTime time, std::uint64_t vpn,
            std::uint64_t arg)
     {
+        // Single-owner discipline: between barriers the log belongs to
+        // the shard's worker; at the barrier ownership hands off to
+        // the coordinator, which drains it (base/sync.hh ThreadRole).
+        owner_.assertHeld();
         buf_.push_back({time, shard_, seq_++, kind, vpn, arg});
     }
 
-    std::size_t size() const { return buf_.size(); }
+    std::size_t
+    size() const
+    {
+        owner_.assertHeld();
+        return buf_.size();
+    }
 
     /** Hand the epoch's events to the coordinator and reset the log. */
     std::vector<ShardEvent>
     drain()
     {
+        owner_.assertHeld();
         std::vector<ShardEvent> out;
         out.swap(buf_);
         return out;
@@ -96,8 +107,11 @@ class ShardEventLog
 
   private:
     std::uint32_t shard_ = 0;
-    std::uint64_t seq_ = 0;
-    std::vector<ShardEvent> buf_;
+    /** Barrier-passed ownership: worker between barriers, coordinator
+     *  at the barrier (see append). */
+    base::ThreadRole owner_;
+    std::uint64_t seq_ MCLOCK_GUARDED_BY(owner_) = 0;
+    std::vector<ShardEvent> buf_ MCLOCK_GUARDED_BY(owner_);
 };
 
 }  // namespace sim

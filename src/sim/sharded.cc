@@ -128,15 +128,22 @@ ShardedSimulator::write(Vaddr globalVa, std::size_t bytes)
 
 void
 ShardedSimulator::runEpochOn(unsigned s, std::uint64_t epoch,
+                             std::uint64_t grant,
                              const EpochDriver &driver)
 {
-    sims_[s]->beginShardEpoch(epoch, grants_[s]);
+    // Worker-side: shard-local state plus this shard's active_ element
+    // only. The promotion grant arrives by value — reading grants_
+    // here would be a -Wthread-safety error (coordinator-guarded).
+    sims_[s]->beginShardEpoch(epoch, grant);
     active_[s] = driver(*sims_[s], s, epoch) ? 1 : 0;
 }
 
 void
 ShardedSimulator::run(const EpochDriver &driver)
 {
+    // run() is the coordinator: it owns the merge state between the
+    // join barriers it itself erects.
+    coordinator_.assertHeld();
     const unsigned shards = this->shards();
     std::uint64_t epoch = epochs_;
     for (;;) {
@@ -152,19 +159,26 @@ ShardedSimulator::run(const EpochDriver &driver)
             // parallel path must (and does) reproduce bit for bit.
             for (unsigned s = 0; s < shards; ++s) {
                 if (active_[s])
-                    runEpochOn(s, epoch, driver);
+                    runEpochOn(s, epoch, grants_[s], driver);
             }
         } else {
             // Static round-robin shard ownership: worker w drives
             // shards w, w+W, ... in shard order. No work queue, no
-            // shared mutable state below the join barrier.
+            // shared mutable state below the join barrier: the epoch's
+            // grants are snapshotted here, before any worker starts,
+            // so workers never read coordinator-owned vectors (the
+            // hole the thread-safety analysis exposed — nothing
+            // stopped a future merge-path mutation of grants_ from
+            // racing these reads).
+            const std::vector<std::uint64_t> grants = grants_;
             std::vector<std::thread> pool;
             pool.reserve(workers_);
             for (unsigned w = 0; w < workers_; ++w) {
-                pool.emplace_back([this, w, epoch, &driver, shards] {
+                pool.emplace_back([this, w, epoch, &driver, &grants,
+                                   shards] {
                     for (unsigned s = w; s < shards; s += workers_) {
                         if (active_[s])
-                            runEpochOn(s, epoch, driver);
+                            runEpochOn(s, epoch, grants[s], driver);
                     }
                 });
             }

@@ -33,6 +33,7 @@
 #include <memory>
 #include <vector>
 
+#include "base/sync.hh"
 #include "sim/machine.hh"
 #include "sim/metrics.hh"
 #include "sim/shard_event.hh"
@@ -135,10 +136,20 @@ class ShardedSimulator
     void run(const EpochDriver &driver);
 
     /** Epoch barriers executed by run(). */
-    std::uint64_t epochs() const { return epochs_; }
+    std::uint64_t
+    epochs() const
+    {
+        coordinator_.assertHeld();
+        return epochs_;
+    }
 
     /** Merged cross-shard event stream, in seniority order. */
-    const std::vector<ShardEvent> &events() const { return events_; }
+    const std::vector<ShardEvent> &
+    events() const
+    {
+        coordinator_.assertHeld();
+        return events_;
+    }
 
     /** Coordinator tracepoints (`shard_merge` per epoch). */
     const stats::TraceBuffer &trace() const { return trace_; }
@@ -159,26 +170,51 @@ class ShardedSimulator
     Metrics mergedMetrics() const;
 
   private:
+    /**
+     * Drive one (shard, epoch) sub-simulation with the shard's
+     * promotion @p grant. Runs on worker threads — it must never touch
+     * coordinator-guarded merge state, which -Wthread-safety enforces:
+     * this function does not assert the coordinator role, so any
+     * access to a MCLOCK_GUARDED_BY(coordinator_) member here is a
+     * compile error (the grant is snapshotted by the coordinator and
+     * passed in by value for exactly that reason).
+     */
     void runEpochOn(unsigned s, std::uint64_t epoch,
-                    const EpochDriver &driver);
-    void mergeEpoch(std::uint64_t epoch);
+                    std::uint64_t grant, const EpochDriver &driver);
+
+    void mergeEpoch(std::uint64_t epoch) MCLOCK_REQUIRES(coordinator_);
 
     ShardOptions opts_;
     unsigned workers_ = 1;
     std::vector<std::unique_ptr<Simulator>> sims_;
+    /** Per-shard event logs: single-writer (the owning worker) between
+     *  barriers; drained only by the coordinator at the barrier. */
     std::vector<ShardEventLog> logs_;
     ShardedAddressSpace space_;
+
+    /**
+     * Coordinator thread-confinement capability (base/sync.hh): the
+     * merge state below is owned by whichever thread runs run() /
+     * mergeEpoch() and is handed off only at the epoch join barrier.
+     * Functions that may execute on worker threads (runEpochOn) never
+     * assert this role, so -Wthread-safety rejects any worker-side
+     * access to guarded members at compile time.
+     */
+    base::ThreadRole coordinator_;
+
     /** Next-epoch promotion grants, recomputed at each merge. */
-    std::vector<std::uint64_t> grants_;
+    std::vector<std::uint64_t> grants_ MCLOCK_GUARDED_BY(coordinator_);
     /** Shards whose driver still wants epochs (uint8: thread-safe
-     *  element writes, unlike vector<bool>). */
+     *  element writes, unlike vector<bool>). Written element-disjoint
+     *  by workers (shard s only from s's owner), read by the
+     *  coordinator after the join barrier — not role-guarded. */
     std::vector<std::uint8_t> active_;
-    std::vector<ShardEvent> events_;
+    std::vector<ShardEvent> events_ MCLOCK_GUARDED_BY(coordinator_);
     stats::VmStat coordVmstat_;
     stats::TraceBuffer trace_;
     /** Clock the coordinator trace stamps with (max shard time). */
-    SimTime mergeClock_ = 0;
-    std::uint64_t epochs_ = 0;
+    SimTime mergeClock_ MCLOCK_GUARDED_BY(coordinator_) = 0;
+    std::uint64_t epochs_ MCLOCK_GUARDED_BY(coordinator_) = 0;
 };
 
 }  // namespace sim

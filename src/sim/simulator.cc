@@ -405,8 +405,10 @@ Simulator::promotePage(Page *page, ChargeMode mode)
                 --promoteBudget_;
             // Quota credits, like the shard budget, are spent on
             // completed promotions only — an aborted migration costs
-            // the tenant nothing.
-            memcg_.consumePromoteCredit(cg);
+            // the tenant nothing. tenantPromoteAllowed() held a credit
+            // in reserve above, so the spend cannot fail here.
+            const bool credited = memcg_.consumePromoteCredit(cg);
+            MCLOCK_ASSERT(credited);
             return true;
         }
         const bool retryable =

@@ -29,7 +29,12 @@ struct VmstatSample
     std::array<std::uint64_t, kNumVmItems> counters{};
 };
 
-/** Accumulates periodic snapshots of a VmStat instance. */
+/**
+ * Accumulates periodic snapshots of a VmStat instance. Single-owner
+ * like the VmStat it samples: the owning simulator's driving thread
+ * samples, and readers only arrive after a join barrier (ThreadRole
+ * confinement, statically checked — see stats/vmstat.hh).
+ */
 class VmstatSampler
 {
   public:
@@ -38,13 +43,19 @@ class VmstatSampler
     void
     sample(SimTime now)
     {
+        owner_.assertHeld();
         VmstatSample s;
         s.time = now;
         s.counters = vmstat_.globals();
         samples_.push_back(s);
     }
 
-    const std::vector<VmstatSample> &samples() const { return samples_; }
+    const std::vector<VmstatSample> &
+    samples() const
+    {
+        owner_.assertHeld();
+        return samples_;
+    }
 
     /**
      * CSV export: header "time_ns,<item>,..." and one row per sample
@@ -54,7 +65,9 @@ class VmstatSampler
 
   private:
     const VmStat &vmstat_;
-    std::vector<VmstatSample> samples_;
+    /** Single-owner confinement capability (see class comment). */
+    base::ThreadRole owner_;
+    std::vector<VmstatSample> samples_ MCLOCK_GUARDED_BY(owner_);
 };
 
 }  // namespace stats

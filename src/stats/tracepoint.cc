@@ -27,6 +27,7 @@ traceEventName(TraceEventType type)
 std::vector<TraceEvent>
 TraceBuffer::events() const
 {
+    owner_.assertHeld();
     std::vector<TraceEvent> out;
     out.reserve(ring_.size());
     // Once wrapped, head_ points at the oldest element.

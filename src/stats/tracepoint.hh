@@ -12,6 +12,12 @@
  * The buffer reads its timestamps through a bound clock pointer (the
  * owning Simulator's now_), so low-level subsystems (LRU lists) can
  * record events without a dependency on the simulator.
+ *
+ * Like VmStat, a TraceBuffer is single-owner state: only the owning
+ * simulator's driving thread records, and only after a join barrier
+ * does another thread (the sharded coordinator, the harness reducer)
+ * read it. That confinement is expressed with a zero-cost ThreadRole
+ * capability (base/sync.hh) so -Wthread-safety can check it.
  */
 
 #ifndef MCLOCK_STATS_TRACEPOINT_HH_
@@ -21,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "base/sync.hh"
 #include "base/types.hh"
 
 namespace mclock {
@@ -68,22 +75,46 @@ class TraceBuffer
     }
 
     /** Bind the simulated clock record() stamps events with. */
-    void bindClock(const SimTime *clock) { clock_ = clock; }
+    void
+    bindClock(const SimTime *clock)
+    {
+        owner_.assertHeld();
+        clock_ = clock;
+    }
 
     bool enabled() const { return capacity_ != 0; }
     std::size_t capacity() const { return capacity_; }
-    std::size_t size() const { return ring_.size(); }
+
+    std::size_t
+    size() const
+    {
+        owner_.assertHeld();
+        return ring_.size();
+    }
 
     /** Events overwritten because the ring was full. */
-    std::uint64_t dropped() const { return dropped_; }
+    std::uint64_t
+    dropped() const
+    {
+        owner_.assertHeld();
+        return dropped_;
+    }
 
     /** Total events ever recorded (size() + dropped()). */
-    std::uint64_t recorded() const { return recorded_; }
+    std::uint64_t
+    recorded() const
+    {
+        owner_.assertHeld();
+        return recorded_;
+    }
 
     void
     record(TraceEventType type, NodeId node, std::uint64_t arg0 = 0,
            std::uint64_t arg1 = 0)
     {
+        // Hot path: the assert is an empty inline function — zero cost
+        // at runtime, a capability assertion under -Wthread-safety.
+        owner_.assertHeld();
         if (capacity_ == 0)
             return;
         TraceEvent ev;
@@ -108,6 +139,7 @@ class TraceBuffer
     void
     clear()
     {
+        owner_.assertHeld();
         ring_.clear();
         head_ = 0;
         dropped_ = 0;
@@ -115,12 +147,15 @@ class TraceBuffer
     }
 
   private:
-    std::size_t capacity_;
-    std::size_t head_ = 0;  ///< oldest element once the ring wrapped
-    std::uint64_t dropped_ = 0;
-    std::uint64_t recorded_ = 0;
-    const SimTime *clock_ = nullptr;
-    std::vector<TraceEvent> ring_;
+    /** Single-owner confinement capability (see file comment). */
+    base::ThreadRole owner_;
+    std::size_t capacity_;  ///< immutable after construction
+    /** Oldest element once the ring wrapped. */
+    std::size_t head_ MCLOCK_GUARDED_BY(owner_) = 0;
+    std::uint64_t dropped_ MCLOCK_GUARDED_BY(owner_) = 0;
+    std::uint64_t recorded_ MCLOCK_GUARDED_BY(owner_) = 0;
+    const SimTime *clock_ MCLOCK_GUARDED_BY(owner_) = nullptr;
+    std::vector<TraceEvent> ring_ MCLOCK_GUARDED_BY(owner_);
 };
 
 /**

@@ -50,12 +50,14 @@ vmItemName(VmItem item)
 void
 VmStat::resize(std::size_t numNodes)
 {
+    owner_.assertHeld();
     perNode_.resize(numNodes);
 }
 
 std::uint64_t
 VmStat::nodeSum(VmItem item) const
 {
+    owner_.assertHeld();
     std::uint64_t sum = 0;
     for (const auto &node : perNode_)
         sum += node[static_cast<std::size_t>(item)];
@@ -65,6 +67,10 @@ VmStat::nodeSum(VmItem item) const
 void
 VmStat::mergeFrom(const VmStat &other)
 {
+    // The reducing thread (sharded coordinator, harness reduce step)
+    // owns both instances once the join barrier has passed.
+    owner_.assertHeld();
+    other.owner_.assertHeld();
     for (std::size_t i = 0; i < kNumVmItems; ++i)
         global_[i] += other.global_[i];
     if (perNode_.size() < other.perNode_.size())
@@ -78,6 +84,7 @@ VmStat::mergeFrom(const VmStat &other)
 std::map<std::string, std::uint64_t>
 VmStat::snapshot() const
 {
+    owner_.assertHeld();
     std::map<std::string, std::uint64_t> out;
     for (std::size_t i = 0; i < kNumVmItems; ++i) {
         const auto item = static_cast<VmItem>(i);

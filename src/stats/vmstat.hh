@@ -13,6 +13,11 @@
  * locking, no global state, so harness run units stay embarrassingly
  * parallel and jobs-count independent. Counters never charge simulated
  * time; instrumenting a code path cannot change simulation results.
+ *
+ * That "no locking" contract is statically checked: counter state is
+ * guarded by a zero-cost single-owner ThreadRole (base/sync.hh) —
+ * exactly one thread (the owning Simulator's driver, or the sharded
+ * coordinator after a join barrier) touches an instance at a time.
  */
 
 #ifndef MCLOCK_STATS_VMSTAT_HH_
@@ -24,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "base/sync.hh"
 #include "base/types.hh"
 
 namespace mclock {
@@ -86,15 +92,23 @@ class VmStat
 
     void resize(std::size_t numNodes);
 
-    std::size_t numNodes() const { return perNode_.size(); }
+    std::size_t
+    numNodes() const
+    {
+        owner_.assertHeld();
+        return perNode_.size();
+    }
 
     /**
      * Add @p delta to @p item. @p node attributes the event to a NUMA
-     * node; kInvalidNode records it globally only.
+     * node; kInvalidNode records it globally only. Owner-thread only
+     * (see file comment) — the assert is a compile-time annotation
+     * with zero hot-path cost.
      */
     void
     add(VmItem item, NodeId node = kInvalidNode, std::uint64_t delta = 1)
     {
+        owner_.assertHeld();
         global_[static_cast<std::size_t>(item)] += delta;
         if (node != kInvalidNode) {
             const auto n = static_cast<std::size_t>(node);
@@ -106,12 +120,14 @@ class VmStat
     std::uint64_t
     global(VmItem item) const
     {
+        owner_.assertHeld();
         return global_[static_cast<std::size_t>(item)];
     }
 
     std::uint64_t
     node(NodeId node, VmItem item) const
     {
+        owner_.assertHeld();
         const auto n = static_cast<std::size_t>(node);
         return n < perNode_.size()
                    ? perNode_[n][static_cast<std::size_t>(item)]
@@ -141,12 +157,17 @@ class VmStat
     std::array<std::uint64_t, kNumVmItems>
     globals() const
     {
+        owner_.assertHeld();
         return global_;
     }
 
   private:
-    std::array<std::uint64_t, kNumVmItems> global_{};
-    std::vector<std::array<std::uint64_t, kNumVmItems>> perNode_;
+    /** Single-owner confinement capability (see file comment). */
+    base::ThreadRole owner_;
+    std::array<std::uint64_t, kNumVmItems> global_
+        MCLOCK_GUARDED_BY(owner_){};
+    std::vector<std::array<std::uint64_t, kNumVmItems>> perNode_
+        MCLOCK_GUARDED_BY(owner_);
 };
 
 }  // namespace stats

@@ -31,6 +31,9 @@ Heatmap::build(const AccessTrace &trace, std::size_t numPages,
     hm.pages_.assign(ids.begin(), ids.begin() + static_cast<long>(k));
     std::sort(hm.pages_.begin(), hm.pages_.end());
 
+    // Lookup-only index (find below); row order comes from the sorted
+    // pages_ vector, never from hashing.
+    // mclock-lint: unordered-iter-ok(never iterated: point lookups only)
     std::unordered_map<std::uint32_t, std::size_t> rowOf;
     for (std::size_t r = 0; r < hm.pages_.size(); ++r)
         rowOf[hm.pages_[r]] = r;

@@ -36,6 +36,12 @@ analyzeWindows(const AccessTrace &trace, SimTime obsWindow,
     WindowAnalysisResult result;
     double singleSum = 0.0;
     double multiSum = 0.0;
+    // Hash order is unspecified, but every quantity accumulated below
+    // is order-independent: the sample tallies are integer increments,
+    // and the sums only ever add uint32 counts — integer-valued
+    // doubles, summed exactly (well under 2^53), so any iteration
+    // order yields bit-identical results.
+    // mclock-lint: unordered-iter-ok(order-independent exact reduction)
     for (const auto &[key, c] : perPage) {
         (void)key;
         if (c.obs == 1) {

@@ -111,6 +111,7 @@ MemCgroupManager::MemCgroupManager()
 MemCgroupId
 MemCgroupManager::create(const std::string &name, MemCgroupLimits limits)
 {
+    owner_.assertHeld();
     const auto id = static_cast<MemCgroupId>(groups_.size());
     groups_.push_back(
         std::make_unique<MemCgroup>(id, name, std::move(limits)));
@@ -120,6 +121,7 @@ MemCgroupManager::create(const std::string &name, MemCgroupLimits limits)
 void
 MemCgroupManager::beginEpoch()
 {
+    owner_.assertHeld();
     for (std::size_t i = 1; i < groups_.size(); ++i)
         groups_[i]->refillPromoteDeficit();
 }

@@ -24,6 +24,14 @@
  * (uncharge), and downward moves always succeed — pressure must be
  * relievable even for an over-cap group, so only upward placement is
  * gated. Accounting never charges simulated time.
+ *
+ * Concurrency: one manager per simulated host, reached from that
+ * host's driving thread only — in a sharded machine each shard owns
+ * its own manager, so all charge state stays shard-local. That
+ * confinement is statically checked: the manager carries a ThreadRole
+ * capability (base/sync.hh) guarding the group table, and every entry
+ * point asserts it, so -Wthread-safety rejects any code path that
+ * routes another shard's (coordinator-guarded) state in here.
  */
 
 #ifndef MCLOCK_VM_MEMCG_HH_
@@ -35,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "base/sync.hh"
 #include "base/types.hh"
 
 namespace mclock {
@@ -88,7 +97,7 @@ class MemCgroup
      * Would one more page on @p tier stay within the hard cap? Pure
      * query; charge() below performs the actual accounting.
      */
-    bool
+    [[nodiscard]] bool
     withinMax(TierRank tier) const
     {
         return charged(tier) < maxPages(tier);
@@ -98,7 +107,7 @@ class MemCgroup
      * True while the group's charge on @p tier sits at or below its
      * soft floor: global reclaim should prefer other pages first.
      */
-    bool
+    [[nodiscard]] bool
     lowProtected(TierRank tier) const
     {
         return charged(tier) <= lowPages(tier);
@@ -122,12 +131,14 @@ class MemCgroup
     /**
      * Consume one promotion credit. Returns false (and consumes
      * nothing) when the deficit is exhausted; always true for
-     * unmetered groups.
+     * unmetered groups. The result is the admission decision — a
+     * caller that drops it has either skipped the gate or consumed a
+     * credit for nothing, hence [[nodiscard]].
      */
-    bool consumePromoteCredit();
+    [[nodiscard]] bool consumePromoteCredit();
 
     /** Non-consuming quota query (always true for unmetered groups). */
-    bool
+    [[nodiscard]] bool
     hasPromoteCredit() const
     {
         return limits_.promoteQuantum == 0 || promoteDeficit_ > 0;
@@ -204,6 +215,7 @@ class MemCgroupManager
     MemCgroup *
     find(MemCgroupId id)
     {
+        owner_.assertHeld();
         if (id == kRootMemcg || id >= groups_.size())
             return nullptr;
         return groups_[id].get();
@@ -212,22 +224,34 @@ class MemCgroupManager
     const MemCgroup *
     find(MemCgroupId id) const
     {
+        owner_.assertHeld();
         if (id == kRootMemcg || id >= groups_.size())
             return nullptr;
         return groups_[id].get();
     }
 
     /** Number of tenant groups created (root excluded). */
-    std::size_t numGroups() const { return groups_.size() - 1; }
+    std::size_t
+    numGroups() const
+    {
+        owner_.assertHeld();
+        return groups_.size() - 1;
+    }
 
     /** Any tenants at all? False on every pre-memcg host. */
-    bool active() const { return groups_.size() > 1; }
+    bool
+    active() const
+    {
+        owner_.assertHeld();
+        return groups_.size() > 1;
+    }
 
     /** Invoke @p fn on every tenant group, in id order. */
     template <typename Fn>
     void
     forEach(Fn &&fn) const
     {
+        owner_.assertHeld();
         for (std::size_t i = 1; i < groups_.size(); ++i)
             fn(*groups_[i]);
     }
@@ -250,19 +274,20 @@ class MemCgroupManager
     void transfer(MemCgroupId id, TierRank from, TierRank to);
 
     /** Hard-cap query: may @p id take one more page on @p tier? */
-    bool withinMax(MemCgroupId id, TierRank tier) const;
+    [[nodiscard]] bool withinMax(MemCgroupId id, TierRank tier) const;
 
     /** Soft-floor query: is @p id protected on @p tier right now? */
-    bool lowProtected(MemCgroupId id, TierRank tier) const;
+    [[nodiscard]] bool lowProtected(MemCgroupId id, TierRank tier) const;
 
     /**
      * Promotion-quota gate: consume one credit of @p id. Root pages
-     * are always allowed.
+     * are always allowed. [[nodiscard]]: dropping the result means a
+     * promotion proceeded ungated (or a credit burned for nothing).
      */
-    bool consumePromoteCredit(MemCgroupId id);
+    [[nodiscard]] bool consumePromoteCredit(MemCgroupId id);
 
     /** Non-consuming quota query for @p id (root: always true). */
-    bool hasPromoteCredit(MemCgroupId id) const;
+    [[nodiscard]] bool hasPromoteCredit(MemCgroupId id) const;
 
     /** Record an access latency against @p id (root: dropped). */
     void
@@ -273,8 +298,11 @@ class MemCgroupManager
     }
 
   private:
+    /** Host-thread confinement capability (see file comment). */
+    base::ThreadRole owner_;
     /** Index 0 is the root sentinel (nullptr); tenants start at 1. */
-    std::vector<std::unique_ptr<MemCgroup>> groups_;
+    std::vector<std::unique_ptr<MemCgroup>> groups_
+        MCLOCK_GUARDED_BY(owner_);
 };
 
 }  // namespace mclock

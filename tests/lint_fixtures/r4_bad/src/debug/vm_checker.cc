@@ -1,0 +1,9 @@
+// R4 fixture: violation name table.
+const char *
+violationName(ViolationCode code)
+{
+    switch (code) {
+      case ViolationCode::ListMismatch: return "list_mismatch";
+    }
+    return "unknown";
+}

@@ -1,0 +1,10 @@
+// R4 fixture: name table matching vmstat.hh exactly.
+const char *
+vmItemName(VmItem item)
+{
+    switch (item) {
+      case VmItem::PgscanActive:     return "pgscan_active";
+      case VmItem::PgpromoteSuccess: return "pgpromote_success";
+    }
+    return "unknown";
+}

@@ -1,0 +1,8 @@
+// R4 fixture (bad): PgdemoteGhost has no name-table case — the
+// bijection check must flag it.
+enum class VmItem : int {
+    PgscanActive,
+    PgpromoteSuccess,
+    PgdemoteGhost,
+    NumItems,
+};

@@ -1,0 +1,6 @@
+// R4 fixture (bad): no injection test exercises the list-mismatch
+// violation code, so the per-invariant-coverage check must flag it.
+void
+noInjectionTestsHere()
+{
+}

@@ -1,0 +1,5 @@
+// R4 fixture: minimal violation taxonomy.
+enum class ViolationCode : int {
+    ListMismatch,
+    NumCodes,
+};

@@ -1,0 +1,9 @@
+// R4 fixture: tracepoint name table.
+const char *
+traceEventName(TraceEventType type)
+{
+    switch (type) {
+      case TraceEventType::MigrationStart: return "migration_start";
+    }
+    return "unknown";
+}

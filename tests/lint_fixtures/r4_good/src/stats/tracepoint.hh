@@ -1,0 +1,4 @@
+// R4 fixture: minimal tracepoint taxonomy.
+enum class TraceEventType : int {
+    MigrationStart,
+};

@@ -1,0 +1,6 @@
+// R4 fixture: minimal vmstat taxonomy.
+enum class VmItem : int {
+    PgscanActive,
+    PgpromoteSuccess,
+    NumItems,
+};

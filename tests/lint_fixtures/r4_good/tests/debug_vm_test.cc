@@ -1,0 +1,6 @@
+// R4 fixture: every violation code has an injection test.
+void
+injectListMismatch()
+{
+    expectViolation(ViolationCode::ListMismatch);
+}

@@ -1,0 +1,27 @@
+// R1 fixture (bad): hash-order iteration in a deterministic path.
+// mclock_lint must fail citing [R1-unordered-iter] twice: once for the
+// unannotated loop, once for the reason-less allowlist annotation.
+#include <cstdint>
+#include <unordered_map>
+
+std::uint64_t
+firstKeyByHashOrder(
+    const std::unordered_map<std::uint64_t, std::uint64_t> &m)
+{
+    std::unordered_map<std::uint64_t, std::uint64_t> copy = m;
+    for (const auto &[key, value] : copy)  // order depends on the hash
+        return key + value;
+    return 0;
+}
+
+std::uint64_t
+reasonlessAnnotation(
+    const std::unordered_map<std::uint64_t, std::uint64_t> &m)
+{
+    std::unordered_map<std::uint64_t, std::uint64_t> copy = m;
+    std::uint64_t sum = 0;
+    // mclock-lint: unordered-iter-ok()
+    for (const auto &[key, value] : copy)
+        sum += key ^ value;
+    return sum;
+}

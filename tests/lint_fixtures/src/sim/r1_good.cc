@@ -1,0 +1,25 @@
+// R1 fixture (good): every unordered-container use is either
+// lookup-only (annotated at the declaration) or an iteration whose
+// order-independence is annotated at the site. mclock_lint must exit 0.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+std::uint64_t
+lookupOnly(const std::unordered_map<std::uint32_t, std::uint64_t> &m)
+{
+    // mclock-lint: unordered-iter-ok(never iterated: point lookups only)
+    std::unordered_map<std::uint32_t, std::uint64_t> index = m;
+    auto it = index.find(7);
+    return it == index.end() ? 0 : it->second;
+}
+
+std::uint64_t
+orderFreeReduce(const std::unordered_set<std::uint64_t> &pages)
+{
+    std::uint64_t sum = 0;
+    // mclock-lint: unordered-iter-ok(commutative integer sum)
+    for (const auto page : pages)
+        sum += page;
+    return sum;
+}

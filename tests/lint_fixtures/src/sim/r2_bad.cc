@@ -1,0 +1,18 @@
+// R2 fixture (bad): wall-clock and entropy reads in simulation code
+// with no allowlist annotation. mclock_lint must fail citing
+// [R2-wall-clock] for each of the four calls.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned long long
+nondeterministicSoup()
+{
+    const auto now = std::chrono::steady_clock::now();
+    std::random_device entropy;
+    const auto salt = static_cast<unsigned long long>(rand());
+    const auto stamp =
+        static_cast<unsigned long long>(time(nullptr));
+    return now.time_since_epoch().count() + entropy() + salt + stamp;
+}

@@ -1,0 +1,13 @@
+// R2 fixture (good): the only wall-clock reads are observation-only
+// and carry a written reason. mclock_lint must exit 0.
+#include <chrono>
+
+double
+observeOnly()
+{
+    // mclock-lint: wall-clock-ok(observation-only wall_seconds metric)
+    const auto start = std::chrono::steady_clock::now();
+    // mclock-lint: wall-clock-ok(observation-only wall_seconds metric)
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(stop - start).count();
+}

@@ -1,0 +1,27 @@
+// R3 fixture (bad): result-carrying gate APIs without [[nodiscard]].
+// mclock_lint must fail citing [R3-nodiscard] for the struct, the
+// one-line declaration, and the gem5-style two-line declaration.
+#ifndef MCLOCK_TESTS_LINT_FIXTURES_R3_BAD_HH_
+#define MCLOCK_TESTS_LINT_FIXTURES_R3_BAD_HH_
+
+struct MigrateResult
+{
+    bool ok = false;
+};
+
+class Gates
+{
+  public:
+    bool withinMax(int tier) const;
+
+    bool
+    consumePromoteCredit()
+    {
+        return credits_ > 0 ? (--credits_, true) : false;
+    }
+
+  private:
+    unsigned credits_ = 0;
+};
+
+#endif  // MCLOCK_TESTS_LINT_FIXTURES_R3_BAD_HH_

@@ -1,0 +1,33 @@
+// R3 fixture (good): the migration result type and every charge-gate
+// predicate are [[nodiscard]]. mclock_lint must exit 0.
+#ifndef MCLOCK_TESTS_LINT_FIXTURES_R3_GOOD_HH_
+#define MCLOCK_TESTS_LINT_FIXTURES_R3_GOOD_HH_
+
+struct [[nodiscard]] MigrateResult
+{
+    bool ok = false;
+};
+
+class Gates
+{
+  public:
+    [[nodiscard]] bool withinMax(int tier) const;
+    [[nodiscard]] bool lowProtected(int tier) const;
+
+    [[nodiscard]] bool
+    consumePromoteCredit()
+    {
+        return credits_ > 0 ? (--credits_, true) : false;
+    }
+
+    [[nodiscard]] bool
+    hasPromoteCredit() const
+    {
+        return credits_ > 0;
+    }
+
+  private:
+    unsigned credits_ = 0;
+};
+
+#endif  // MCLOCK_TESTS_LINT_FIXTURES_R3_GOOD_HH_

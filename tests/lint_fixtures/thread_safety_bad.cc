@@ -1,0 +1,49 @@
+// Thread-safety fixture (bad): writes a mutex-guarded member with the
+// lock not held and a role-guarded member without asserting the role.
+// MUST fail to compile under
+//   clang++ -fsyntax-only -Wthread-safety -Werror=thread-safety
+// — the ctest registering this file is WILL_FAIL, so a toolchain that
+// stops diagnosing these races turns the suite red.
+#include "base/sync.hh"
+
+namespace {
+
+class Counter
+{
+  public:
+    void
+    incrementUnlocked()
+    {
+        ++value_;  // guarded by mu_, which is not held
+    }
+
+  private:
+    mclock::base::Mutex mu_;
+    int value_ MCLOCK_GUARDED_BY(mu_) = 0;
+};
+
+class Confined
+{
+  public:
+    void
+    bumpWithoutRole()
+    {
+        ++value_;  // guarded by owner_, which is never asserted
+    }
+
+  private:
+    mclock::base::ThreadRole owner_;
+    int value_ MCLOCK_GUARDED_BY(owner_) = 0;
+};
+
+}  // namespace
+
+int
+main()
+{
+    Counter c;
+    c.incrementUnlocked();
+    Confined f;
+    f.bumpWithoutRole();
+    return 0;
+}

@@ -1,0 +1,56 @@
+// Thread-safety fixture (good): every guarded access holds the right
+// capability. Must compile clean under
+//   clang++ -fsyntax-only -Wthread-safety -Werror=thread-safety
+// (the threadsafety ctest drives exactly that).
+#include "base/sync.hh"
+
+namespace {
+
+class Counter
+{
+  public:
+    void
+    increment()
+    {
+        mclock::base::MutexLock lock(mu_);
+        ++value_;
+    }
+
+    int
+    value()
+    {
+        mclock::base::MutexLock lock(mu_);
+        return value_;
+    }
+
+  private:
+    mclock::base::Mutex mu_;
+    int value_ MCLOCK_GUARDED_BY(mu_) = 0;
+};
+
+class Confined
+{
+  public:
+    void
+    bump()
+    {
+        owner_.assertHeld();
+        ++value_;
+    }
+
+  private:
+    mclock::base::ThreadRole owner_;
+    int value_ MCLOCK_GUARDED_BY(owner_) = 0;
+};
+
+}  // namespace
+
+int
+main()
+{
+    Counter c;
+    c.increment();
+    Confined f;
+    f.bump();
+    return c.value();
+}

@@ -1,166 +1,21 @@
 #!/usr/bin/env python3
-"""Taxonomy cross-check lint.
-
-The observability stack names the same events in four places: the
-VmItem / TraceEventType / ViolationCode enums, their name tables, the
-DESIGN.md documentation tables, and (for violation codes) the
-violation-injection test suite. Nothing ties those together at compile
-time, so they drift silently. This lint re-derives each list from
-source with regexes and fails on any asymmetric difference:
-
-  1. every VmItem enumerator has a vmItemName() case and vice versa,
-     and every resulting snake_case name appears in DESIGN.md 6a
-     (and every backticked pg*/psw*/k*wake name in 6a exists);
-  2. the same bijection for TraceEventType <-> traceEventName() <->
-     the DESIGN.md 6a tracepoint list;
-  3. the same for ViolationCode <-> violationName() <-> the DESIGN.md
-     6c table, plus: every violation code must be exercised by name in
-     tests/debug_vm_test.cc (one injection test per invariant class).
-
-Usage: lint_counters.py [repo-root]   (exit 0 clean, 1 on drift)
+"""Back-compat shim: the taxonomy cross-check now lives in
+tools/mclock_lint.py as rule R4-taxonomy (alongside the determinism
+rules R1-R3). This wrapper keeps the old entry point and CLI
+(`lint_counters.py [repo-root]`) working for scripts and muscle
+memory; new callers should invoke mclock_lint.py directly.
 """
 
 import pathlib
-import re
+import subprocess
 import sys
 
 
-def parse_enum(text, enum_name):
-    """Enumerator names of `enum class <enum_name> ... { ... }`."""
-    m = re.search(
-        r"enum\s+class\s+" + enum_name + r"\s*(?::[^({]*)?\{(.*?)\}",
-        text,
-        re.S,
-    )
-    if not m:
-        raise SystemExit(f"lint_counters: enum {enum_name} not found")
-    body = re.sub(r"//[^\n]*|/\*.*?\*/", "", m.group(1), flags=re.S)
-    names = []
-    for entry in body.split(","):
-        entry = entry.split("=")[0].strip()
-        if entry and entry not in ("NumItems", "NumCodes"):
-            names.append(entry)
-    return names
-
-
-def parse_name_table(text, enum_name):
-    """Mapping enumerator -> string from `case Enum::X: return "x";`."""
-    pairs = re.findall(
-        r"case\s+" + enum_name + r"::(\w+)\s*:\s*return\s+\"([^\"]+)\"",
-        text,
-    )
-    return dict(pairs)
-
-
-def backticked(text):
-    return set(re.findall(r"`([a-z0-9_]+)`", text))
-
-
-class Lint:
-    def __init__(self):
-        self.errors = []
-
-    def error(self, msg):
-        self.errors.append(msg)
-
-    def check_bijection(self, what, enumerators, table):
-        for e in enumerators:
-            if e not in table:
-                self.error(f"{what}: enumerator {e} has no name-table case")
-        for e in table:
-            if e not in enumerators:
-                self.error(f"{what}: name-table case {e} is not an "
-                           f"enumerator")
-        names = list(table.values())
-        for n in names:
-            if names.count(n) > 1:
-                self.error(f"{what}: duplicate name {n!r}")
-
-    def check_documented(self, what, names, doc_section, doc_names):
-        for n in sorted(names):
-            if n not in doc_names:
-                self.error(f"{what}: {n!r} missing from DESIGN.md "
-                           f"{doc_section}")
-
-
-def design_section(design, heading):
-    """Text of one `## <heading>` section (to the next `## `)."""
-    m = re.search(
-        r"^## " + re.escape(heading) + r"[^\n]*\n(.*?)(?=^## |\Z)",
-        design,
-        re.S | re.M,
-    )
-    if not m:
-        raise SystemExit(f"lint_counters: DESIGN.md section "
-                         f"{heading!r} not found")
-    return m.group(1)
-
-
 def main():
-    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".")
-    read = lambda p: (root / p).read_text(encoding="utf-8")
-
-    lint = Lint()
-    design = read("DESIGN.md")
-    sec6a = design_section(design, "6a.")
-    doc6a = backticked(sec6a)
-
-    # 1. vmstat taxonomy.
-    vm_enum = parse_enum(read("src/stats/vmstat.hh"), "VmItem")
-    vm_table = parse_name_table(read("src/stats/vmstat.cc"), "VmItem")
-    lint.check_bijection("vmstat", vm_enum, vm_table)
-    lint.check_documented("vmstat", vm_table.values(), "6a", doc6a)
-
-    # 2. tracepoint registry.
-    tp_enum = parse_enum(read("src/stats/tracepoint.hh"),
-                         "TraceEventType")
-    tp_table = parse_name_table(read("src/stats/tracepoint.cc"),
-                                "TraceEventType")
-    lint.check_bijection("tracepoint", tp_enum, tp_table)
-    lint.check_documented("tracepoint", tp_table.values(), "6a", doc6a)
-
-    # 3. DEBUG_VM violation codes.
-    vc_enum = parse_enum(read("src/debug/vm_checker.hh"), "ViolationCode")
-    vc_table = parse_name_table(read("src/debug/vm_checker.cc"),
-                                "ViolationCode")
-    lint.check_bijection("violation", vc_enum, vc_table)
-    sec6c = design_section(design, "6c.")
-    lint.check_documented("violation", vc_table.values(), "6c",
-                          backticked(sec6c))
-
-    # Every invariant class must have an injection test that names its
-    # ViolationCode enumerator.
-    test_src = read("tests/debug_vm_test.cc")
-    for code in vc_enum:
-        if not re.search(r"ViolationCode::" + code + r"\b", test_src):
-            lint.error(f"violation: {code} has no injection test in "
-                       f"tests/debug_vm_test.cc")
-
-    # The 6a doc tables must not advertise counters that do not exist
-    # (stale docs after a rename). Restrict to the taxonomy prefixes so
-    # prose backticks (config fields etc.) stay allowed.
-    known = set(vm_table.values()) | set(tp_table.values())
-    taxonomy_prefixes = ("pgscan_", "pgpromote_", "pgdemote", "pgmigrate_",
-                         "pgshard_", "shard_", "memcg_", "pgtenant_",
-                         "pgsteal", "pgactivate", "pgdeactivate",
-                         "pgrotated", "pgfault_", "pghint_", "pswp",
-                         "pgwriteback", "pgexchange", "kswapd_wake",
-                         "kpromoted_wake", "watermark_", "migration_",
-                         "promote_throttle", "list_rotation")
-    for name in sorted(doc6a):
-        if name.startswith(taxonomy_prefixes) and name not in known:
-            lint.error(f"DESIGN.md 6a: {name!r} is not a known vmstat "
-                       f"item or tracepoint")
-
-    if lint.errors:
-        for e in lint.errors:
-            print(f"lint_counters: {e}", file=sys.stderr)
-        print(f"lint_counters: {len(lint.errors)} error(s)",
-              file=sys.stderr)
-        return 1
-    print(f"lint_counters: OK ({len(vm_enum)} vmstat items, "
-          f"{len(tp_enum)} tracepoints, {len(vc_enum)} violation codes)")
-    return 0
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    engine = pathlib.Path(__file__).resolve().parent / "mclock_lint.py"
+    return subprocess.call(
+        [sys.executable, str(engine), "--root", root, "--rules", "R4"])
 
 
 if __name__ == "__main__":
